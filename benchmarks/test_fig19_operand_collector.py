@@ -1,0 +1,11 @@
+"""Benchmark: Figures 18/19 — accumulation-buffer operand collector."""
+
+from repro.experiments.fig19_operand_collector import run_fig19
+
+
+def test_fig19_operand_collector(benchmark):
+    rows = benchmark(run_fig19)
+    sparse_rows = [row for row in rows if row["mode"].startswith("sparse")]
+    assert all(row["collector_speedup"] > 1.0 for row in sparse_rows)
+    dense = next(row for row in rows if row["mode"].startswith("dense"))
+    assert dense["collector_speedup"] == 1.0

@@ -1,0 +1,13 @@
+"""Benchmark: Figure 5 — warp-level OHMMA skipping micro-experiment."""
+
+from repro.experiments.fig5_warp_skipping import run_fig5
+
+
+def test_fig5_warp_skipping(benchmark):
+    rows = benchmark(run_fig5)
+    dense = next(r for r in rows if r["a_sparsity"] == 0 and r["b_sparsity"] == 0)
+    sparse = next(r for r in rows if r["a_sparsity"] == 0.75 and r["b_sparsity"] == 0.5)
+    assert dense["instruction_speedup"] == 1.0
+    assert sparse["instruction_speedup"] > 2.0
+    # The ISA expansion and the algorithm-level counter must agree.
+    assert all(r["ohmma_issued"] == r["spwmma_enabled"] for r in rows)

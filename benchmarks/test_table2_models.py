@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table II (evaluated models and pruning setup)."""
+
+from repro.experiments.table2_models import run_table2
+
+
+def test_table2_models(benchmark):
+    rows = benchmark(run_table2)
+    assert len(rows) == 5
+    nlp = [row for row in rows if row["model"] in ("BERT-base Encoder", "RNN")]
+    assert all(row["mean_weight_sparsity"] > 0.85 for row in nlp)

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table IV (area and power overhead)."""
+
+from repro.experiments.table4_overhead import run_table4
+
+
+def test_table4_overhead(benchmark):
+    rows = benchmark(run_table4)
+    by_module = {row["module"]: row for row in rows}
+    total = by_module["Total overhead on V100"]
+    assert abs(total["area_mm2"] - 12.846) < 0.5
+    assert abs(total["power_w"] - 3.89) < 0.3
+    fraction = by_module["Fraction of V100"]
+    assert fraction["area_mm2"] < 0.02  # ~1.5% of the die
+    assert fraction["power_w"] < 0.02

@@ -1,0 +1,67 @@
+"""Design-space exploration: accumulation buffer size vs. area and speed.
+
+The warp-tile size of the proposed SpGEMM is bounded by the accumulation
+buffer that keeps the whole output tile next to the FEOP units
+(Section III-B3).  This example sweeps the buffer capacity, derives the
+corresponding warp-tile geometry, and reports
+
+* the silicon cost of the buffer (Table IV's methodology), and
+* the instruction-level speedup the geometry reaches on a reference
+  sparse workload,
+
+illustrating why the paper settles on the 4 KiB / 32x32 design point.
+
+Run with::
+
+    python examples/design_space_exploration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spgemm_device import count_device_instructions
+from repro.core.spgemm_warp import WarpTileConfig
+from repro.experiments.report import format_rows
+from repro.hw.area_model import AreaPowerModel
+from repro.sparsity.generators import random_sparse_matrix
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    activations = random_sparse_matrix((512, 512), density=0.4, rng=rng)
+    weights = random_sparse_matrix((512, 512), density=0.15, rng=rng)
+    area_model = AreaPowerModel()
+
+    rows = []
+    for tile in (8, 16, 32, 64):
+        buffer_kb = tile * tile * 4 / 1024.0
+        config = WarpTileConfig(tm=tile, tn=tile, tk=16)
+        counts = count_device_instructions(activations, weights, config=config)
+        buffer = area_model.shared_accumulation_buffer(buffer_kb)
+        rows.append(
+            {
+                "warp_tile": f"{tile}x{tile}",
+                "buffer_kib_per_subcore": buffer_kb,
+                "buffer_area_mm2_total": buffer.area_mm2,
+                "instruction_speedup": counts.instruction_speedup,
+                "warp_tile_pairs_skipped": counts.warp_tile_pairs_skipped,
+            }
+        )
+    print(
+        format_rows(
+            rows,
+            title="Accumulation-buffer design space (A 60% sparse, B 85% sparse)",
+        )
+    )
+    print(
+        "\nLarger warp tiles skip more work because condensing operates on longer "
+        "vectors, but the accumulation buffer area grows quadratically with the "
+        "tile edge (and past 4 KiB it no longer fits next to the Tensor Core's "
+        "output path).  The paper's 32x32 / 4 KiB point is the largest tile whose "
+        "buffer still costs ~1.4% of the die."
+    )
+
+
+if __name__ == "__main__":
+    main()

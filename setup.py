@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline evaluation environment lacks the ``wheel`` package, so PEP
+517 editable installs cannot build a wheel.  This shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``python setup.py develop``) install the package via the classic
+setuptools path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""Reproduction of *Dual-side Sparse Tensor Core* (ISCA 2021).
+
+This package implements, in pure Python/NumPy, the full system described
+in the paper:
+
+* bitmap sparse encodings (one-level and hierarchical two-level),
+* the outer-product bitmap SpGEMM algorithm (warp level and device level),
+* the outer-product-friendly, bitmap-based implicit sparse im2col and the
+  dual-side sparse convolution built on top of it,
+* the ISA extensions (OHMMA / BOHMMA / SpWMMA) and a reduced-fidelity
+  cycle-level simulator of the modified Tensor Core hardware,
+* calibrated cost models of the paper's baselines (CUTLASS, cuDNN,
+  cuSparse, Sparse Tensor Core), and
+* the DNN-model substrate (VGG-16, ResNet-18, Mask R-CNN, BERT-base, RNN)
+  and pruning schemes used in the evaluation.
+
+The most common entry points are re-exported here:
+
+>>> import numpy as np
+>>> from repro import SparseMatrix, spgemm
+>>> a = SparseMatrix.from_dense(np.eye(64, dtype=np.float32))
+>>> b = SparseMatrix.from_dense(np.eye(64, dtype=np.float32), order="row")
+>>> result = spgemm(a, b)
+>>> bool(np.allclose(result.dense, np.eye(64)))
+True
+"""
+
+from repro.core.api import (
+    SparseMatrix,
+    SpGemmResult,
+    SpConvResult,
+    spgemm,
+    spconv,
+    sparse_im2col,
+)
+from repro.errors import (
+    ReproError,
+    ShapeError,
+    FormatError,
+    ConfigError,
+    SimulationError,
+)
+from repro.version import __version__
+
+__all__ = [
+    "SparseMatrix",
+    "SpGemmResult",
+    "SpConvResult",
+    "spgemm",
+    "spconv",
+    "sparse_im2col",
+    "ReproError",
+    "ShapeError",
+    "FormatError",
+    "ConfigError",
+    "SimulationError",
+    "__version__",
+]

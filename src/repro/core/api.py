@@ -1,0 +1,192 @@
+"""High-level public API of the dual-side sparse Tensor Core library.
+
+These are the entry points a downstream user is expected to call:
+
+* :class:`SparseMatrix` — a bitmap-encoded matrix with convenience
+  constructors and statistics,
+* :func:`spgemm` — dual-side sparse matrix multiplication (numerically
+  exact, with instruction-level statistics),
+* :func:`sparse_im2col` — the bitmap-based implicit sparse im2col, and
+* :func:`spconv` — dual-side sparse convolution.
+
+For latency estimates on a modelled V100-class GPU, see
+:mod:`repro.kernels` (per-method cost models) and
+:mod:`repro.experiments` (the paper's tables and figures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.im2col_bitmap import BitmapIm2colResult, bitmap_im2col
+from repro.core.spconv import SpConvStats, sparse_conv2d
+from repro.core.spgemm_device import DeviceStats, device_spgemm
+from repro.core.spgemm_warp import WarpTileConfig
+from repro.errors import ShapeError
+from repro.formats.bitmap import BitmapMatrix
+from repro.formats.hierarchical import TwoLevelBitmapMatrix
+from repro.utils.validation import check_2d
+
+
+@dataclass(frozen=True)
+class SparseMatrix:
+    """User-facing bitmap-encoded sparse matrix.
+
+    A thin, immutable wrapper over :class:`repro.formats.bitmap.BitmapMatrix`
+    that keeps the original dense view around for verification and for
+    the functional SpGEMM path.
+
+    Attributes:
+        dense: the dense (zeros included) matrix.
+        encoding: the bitmap encoding (values condensed column- or
+            row-major depending on which GEMM operand this matrix is).
+    """
+
+    dense: np.ndarray
+    encoding: BitmapMatrix
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, order: str = "col") -> "SparseMatrix":
+        """Encode a dense matrix.
+
+        Args:
+            dense: 2-D array; zeros are treated as absent values.
+            order: ``"col"`` when the matrix is the left operand of an
+                outer-product GEMM (matrix A), ``"row"`` for the right
+                operand (matrix B).
+        """
+        dense = check_2d(dense, "dense")
+        return cls(dense=dense.copy(), encoding=BitmapMatrix.from_dense(dense, order))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns) of the matrix."""
+        return self.dense.shape
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero elements."""
+        return self.encoding.nnz
+
+    @property
+    def density(self) -> float:
+        """Fraction of non-zero elements."""
+        return self.encoding.density
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of zero elements."""
+        return self.encoding.sparsity
+
+    def two_level(self, tile_shape: tuple[int, int]) -> TwoLevelBitmapMatrix:
+        """Re-encode with the hierarchical two-level bitmap (Figure 9)."""
+        return TwoLevelBitmapMatrix.from_dense(
+            self.dense, tile_shape=tile_shape, order=self.encoding.order
+        )
+
+    def footprint_bytes(self) -> int:
+        """Compressed storage size in bytes."""
+        return self.encoding.footprint_bytes()
+
+
+@dataclass(frozen=True)
+class SpGemmResult:
+    """Result of :func:`spgemm`.
+
+    Attributes:
+        dense: the dense numeric product.
+        stats: instruction counts / traffic of the simulated execution.
+    """
+
+    dense: np.ndarray
+    stats: DeviceStats
+
+    @property
+    def instruction_speedup(self) -> float:
+        """OHMMA instructions of a dense execution / issued instructions."""
+        return self.stats.instruction_speedup
+
+
+@dataclass(frozen=True)
+class SpConvResult:
+    """Result of :func:`spconv`.
+
+    Attributes:
+        output: (N, OH, OW) output feature map.
+        stats: combined im2col + SpGEMM statistics.
+    """
+
+    output: np.ndarray
+    stats: SpConvStats
+
+
+def _as_dense(matrix: "SparseMatrix | np.ndarray", name: str) -> np.ndarray:
+    """Accept either a SparseMatrix or a raw ndarray."""
+    if isinstance(matrix, SparseMatrix):
+        return matrix.dense
+    return check_2d(np.asarray(matrix), name)
+
+
+def spgemm(
+    a: "SparseMatrix | np.ndarray",
+    b: "SparseMatrix | np.ndarray",
+    config: WarpTileConfig | None = None,
+) -> SpGemmResult:
+    """Dual-side sparse matrix multiplication ``a @ b``.
+
+    Both operands may be arbitrarily sparse (including fully dense); the
+    result is numerically exact.  The returned statistics describe the
+    instruction stream the dual-side sparse Tensor Core would execute.
+
+    Args:
+        a: left operand (M x K); encode with ``order="col"`` if passing a
+            :class:`SparseMatrix`.
+        b: right operand (K x N); encode with ``order="row"``.
+        config: warp-tile geometry; defaults to the paper's 32x32x16.
+    """
+    dense_a = _as_dense(a, "a")
+    dense_b = _as_dense(b, "b")
+    if dense_a.shape[1] != dense_b.shape[0]:
+        raise ShapeError(
+            f"inner dimensions differ: {dense_a.shape} @ {dense_b.shape}"
+        )
+    result = device_spgemm(dense_a, dense_b, config=config)
+    return SpGemmResult(dense=result.output, stats=result.stats)
+
+
+def sparse_im2col(
+    feature_map: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> BitmapIm2colResult:
+    """Bitmap-based implicit sparse im2col (Figure 11).
+
+    Returns the lowered feature map both densely and in the condensed
+    bitmap encoding, plus the register-level operation counts.
+    """
+    return bitmap_im2col(feature_map, kernel, stride=stride, padding=padding)
+
+
+def spconv(
+    feature_map: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    config: WarpTileConfig | None = None,
+) -> SpConvResult:
+    """Dual-side sparse convolution (sparse im2col + outer-product SpGEMM).
+
+    Args:
+        feature_map: (C, H, W) input feature map.
+        weights: (N, C, K, K) convolution weights.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        config: warp-tile geometry forwarded to the SpGEMM stage.
+    """
+    result = sparse_conv2d(
+        feature_map, weights, stride=stride, padding=padding, config=config
+    )
+    return SpConvResult(output=result.output, stats=result.stats)

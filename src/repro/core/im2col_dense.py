@@ -1,0 +1,118 @@
+"""Dense im2col: the baseline lowering used by cuDNN-style convolution.
+
+``im2col`` re-arranges a (C, H, W) feature map into a *lowered* matrix of
+shape (OH*OW, K*K*C) whose rows are flattened sliding windows (Figure 1).
+Convolution then becomes a GEMM between the lowered feature map and the
+flattened weights.
+
+Two execution styles exist on GPUs and are distinguished here only by
+their accounting (the numeric result is identical):
+
+* **explicit** im2col materialises the lowered matrix in global memory —
+  costing roughly K*K times the feature-map footprint in extra traffic;
+* **implicit** im2col performs the address conversion on the fly in
+  on-chip memory, never writing the lowered matrix out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.reference import conv_output_shape
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class Im2colStats:
+    """Operation counts of one im2col execution.
+
+    Attributes:
+        element_reads: feature-map elements read.
+        element_writes: lowered-matrix elements produced.
+        lowered_shape: shape of the lowered feature map.
+    """
+
+    element_reads: int
+    element_writes: int
+    lowered_shape: tuple[int, int]
+
+
+def lowered_shape(
+    channels: int, height: int, width: int, kernel: int, stride: int = 1, padding: int = 0
+) -> tuple[int, int]:
+    """Shape (OH*OW, K*K*C) of the lowered feature map."""
+    out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
+    return out_h * out_w, kernel * kernel * channels
+
+
+def flatten_weights(weights: np.ndarray) -> np.ndarray:
+    """Flatten (N, C, K, K) convolution weights to a (K*K*C, N) matrix.
+
+    The row ordering (channel-major, then kernel row, then kernel column)
+    matches the column ordering produced by :func:`dense_im2col`, so
+    ``lowered @ flatten_weights(w)`` equals the convolution output.
+    """
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise ShapeError(f"weights must be (N, C, K, K), got {weights.shape}")
+    n_filters, channels, k_h, k_w = weights.shape
+    return weights.transpose(1, 2, 3, 0).reshape(channels * k_h * k_w, n_filters)
+
+
+def dense_im2col(
+    feature_map: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> tuple[np.ndarray, Im2colStats]:
+    """Lower a dense (C, H, W) feature map to a (OH*OW, K*K*C) matrix.
+
+    Column ``c*K*K + ki*K + kj`` of the lowered matrix holds, for every
+    output position, the input element at channel ``c`` and kernel offset
+    ``(ki, kj)``.
+    """
+    feature_map = np.asarray(feature_map)
+    if feature_map.ndim != 3:
+        raise ShapeError(f"feature_map must be (C, H, W), got {feature_map.shape}")
+    channels, height, width = feature_map.shape
+    out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
+    if padding:
+        feature_map = np.pad(
+            feature_map, ((0, 0), (padding, padding), (padding, padding))
+        )
+    lowered = np.zeros(
+        (out_h * out_w, kernel * kernel * channels), dtype=feature_map.dtype
+    )
+    for c in range(channels):
+        for ki in range(kernel):
+            for kj in range(kernel):
+                col = c * kernel * kernel + ki * kernel + kj
+                window = feature_map[
+                    c,
+                    ki : ki + stride * out_h : stride,
+                    kj : kj + stride * out_w : stride,
+                ]
+                lowered[:, col] = window.reshape(-1)
+    total = lowered.size
+    return lowered, Im2colStats(
+        element_reads=total, element_writes=total, lowered_shape=lowered.shape
+    )
+
+
+def conv2d_via_im2col(
+    feature_map: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Dense convolution computed as ``im2col`` + GEMM (for verification)."""
+    weights = np.asarray(weights)
+    kernel = weights.shape[-1]
+    lowered, _ = dense_im2col(feature_map, kernel, stride, padding)
+    flat_w = flatten_weights(weights)
+    out = lowered.astype(np.float64) @ flat_w.astype(np.float64)
+    channels, height, width = feature_map.shape
+    out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
+    return out.reshape(out_h, out_w, weights.shape[0]).transpose(2, 0, 1)

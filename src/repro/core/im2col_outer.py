@@ -1,0 +1,136 @@
+"""Outer-product-friendly im2col (Figure 10b).
+
+A classic im2col emits one *row* of the lowered feature map per sliding
+window, which matches the inner-product's multiply-accumulate order.  The
+outer product instead consumes one *column* of the lowered matrix per
+step, so the paper permutes the loop nest: the lowered matrix is produced
+column by column, where each column corresponds to a fixed (channel,
+kernel-row, kernel-column) offset and is filled by sliding a 1 x OW
+window over a single feature-map row in a zig-zag scan.
+
+Consecutive columns of the same kernel row therefore read overlapping
+segments of the same feature-map row — which is exactly the data-reuse
+property the bitmap-based sparse im2col exploits (it keeps one bitmap row
+in registers and derives several lowered columns from it by shifting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.im2col_dense import Im2colStats
+from repro.core.reference import conv_output_shape
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class ColumnDescriptor:
+    """Provenance of one lowered-matrix column.
+
+    Attributes:
+        column: column index in the lowered matrix.
+        channel: source channel of the feature map.
+        kernel_row: kernel row offset (ki).
+        kernel_col: kernel column offset (kj).
+        source_rows: feature-map rows (after padding) this column reads.
+    """
+
+    column: int
+    channel: int
+    kernel_row: int
+    kernel_col: int
+    source_rows: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class OuterIm2colResult:
+    """Lowered matrix plus the column-generation schedule.
+
+    Attributes:
+        lowered: the (OH*OW, K*K*C) lowered feature map (identical values
+            to the dense im2col — only the generation order differs).
+        schedule: per-column provenance, in generation order.
+        stats: element read/write counts.
+        row_loads: number of (channel, feature-map row) segments loaded;
+            the measure of input reuse that motivates the scheme.
+    """
+
+    lowered: np.ndarray
+    schedule: tuple[ColumnDescriptor, ...]
+    stats: Im2colStats
+    row_loads: int
+
+
+def outer_friendly_im2col(
+    feature_map: np.ndarray,
+    kernel: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> OuterIm2colResult:
+    """Produce the lowered feature map column by column.
+
+    The generation order iterates channels, then kernel rows, then kernel
+    columns — so all columns derived from the same feature-map rows are
+    generated back to back and the row data is loaded only once
+    (``row_loads`` counts those loads).
+    """
+    feature_map = np.asarray(feature_map)
+    if feature_map.ndim != 3:
+        raise ShapeError(f"feature_map must be (C, H, W), got {feature_map.shape}")
+    channels, height, width = feature_map.shape
+    out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
+    if padding:
+        feature_map = np.pad(
+            feature_map, ((0, 0), (padding, padding), (padding, padding))
+        )
+    lowered = np.zeros(
+        (out_h * out_w, kernel * kernel * channels), dtype=feature_map.dtype
+    )
+    schedule: list[ColumnDescriptor] = []
+    row_loads = 0
+    for c in range(channels):
+        for ki in range(kernel):
+            # One pass over the feature-map rows used by this kernel row;
+            # every kj shares them (the zig-zag reuse of Figure 10b).
+            source_rows = tuple(ki + i * stride for i in range(out_h))
+            row_loads += len(source_rows)
+            for kj in range(kernel):
+                col = c * kernel * kernel + ki * kernel + kj
+                window = feature_map[
+                    c,
+                    ki : ki + stride * out_h : stride,
+                    kj : kj + stride * out_w : stride,
+                ]
+                lowered[:, col] = window.reshape(-1)
+                schedule.append(
+                    ColumnDescriptor(
+                        column=col,
+                        channel=c,
+                        kernel_row=ki,
+                        kernel_col=kj,
+                        source_rows=source_rows,
+                    )
+                )
+    stats = Im2colStats(
+        element_reads=row_loads * out_w,
+        element_writes=lowered.size,
+        lowered_shape=lowered.shape,
+    )
+    return OuterIm2colResult(
+        lowered=lowered, schedule=tuple(schedule), stats=stats, row_loads=row_loads
+    )
+
+
+def column_values_per_segment(
+    row_size: int, kernel: int, stride: int = 1
+) -> int:
+    """Number of lowered-column values produced from one feature-map row.
+
+    The paper's formula B = (R - K + S) / S (Section IV-A), i.e. the
+    number of sliding-window positions along one row.
+    """
+    if stride <= 0:
+        raise ShapeError(f"stride must be positive, got {stride}")
+    return (row_size - kernel + stride) // stride

@@ -1,0 +1,87 @@
+"""Reference (golden) implementations used to validate the sparse kernels.
+
+These are deliberately straightforward NumPy implementations of dense
+GEMM and dense 2-D convolution.  Every sparse path in the library is
+tested for numerical equality against these references.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.validation import check_2d
+
+
+def reference_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense matrix multiplication in float64."""
+    a = check_2d(a, "a")
+    b = check_2d(b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    return a.astype(np.float64) @ b.astype(np.float64)
+
+
+def reference_conv2d(
+    feature_map: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Dense 2-D convolution (cross-correlation, as in DNN frameworks).
+
+    Args:
+        feature_map: input of shape (C, H, W).
+        weights: kernels of shape (N, C, K, K).
+        stride: spatial stride.
+        padding: symmetric zero padding applied to H and W.
+
+    Returns:
+        Output feature map of shape (N, OH, OW).
+    """
+    feature_map = np.asarray(feature_map, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if feature_map.ndim != 3:
+        raise ShapeError(f"feature_map must be (C, H, W), got {feature_map.shape}")
+    if weights.ndim != 4:
+        raise ShapeError(f"weights must be (N, C, K, K), got {weights.shape}")
+    channels, height, width = feature_map.shape
+    n_filters, w_channels, k_h, k_w = weights.shape
+    if w_channels != channels:
+        raise ShapeError(
+            f"channel mismatch: feature map has {channels}, weights expect {w_channels}"
+        )
+    if padding:
+        feature_map = np.pad(
+            feature_map, ((0, 0), (padding, padding), (padding, padding))
+        )
+        height += 2 * padding
+        width += 2 * padding
+    out_h = (height - k_h) // stride + 1
+    out_w = (width - k_w) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            "convolution output would be empty; check kernel size / stride / padding"
+        )
+    out = np.zeros((n_filters, out_h, out_w), dtype=np.float64)
+    for n in range(n_filters):
+        for i in range(out_h):
+            for j in range(out_w):
+                window = feature_map[
+                    :, i * stride : i * stride + k_h, j * stride : j * stride + k_w
+                ]
+                out[n, i, j] = np.sum(window * weights[n])
+    return out
+
+
+def conv_output_shape(
+    height: int, width: int, kernel: int, stride: int = 1, padding: int = 0
+) -> tuple[int, int]:
+    """Spatial output shape of a convolution."""
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ShapeError(
+            "convolution output would be empty; check kernel size / stride / padding"
+        )
+    return out_h, out_w

@@ -1,0 +1,108 @@
+"""Dual-side sparse convolution (Section IV).
+
+The convolution pipeline the paper proposes is:
+
+1. encode the (sparse) input feature map in bitmap format,
+2. run the bitmap-based implicit sparse im2col to obtain the lowered
+   feature map directly in condensed/bitmap form,
+3. flatten and bitmap-encode the (sparse) weights, and
+4. multiply the two with the outer-product SpGEMM, skipping work on both
+   the activation and the weight side.
+
+This module provides the functional pipeline and its combined statistics;
+the latency model lives in :mod:`repro.kernels.conv_dual_sparse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.im2col_bitmap import BitmapIm2colStats, bitmap_im2col
+from repro.core.im2col_dense import flatten_weights
+from repro.core.reference import conv_output_shape
+from repro.core.spgemm_device import DeviceStats, device_spgemm
+from repro.core.spgemm_warp import WarpTileConfig
+from repro.errors import ShapeError
+from repro.sparsity.statistics import sparsity as sparsity_of
+
+
+@dataclass(frozen=True)
+class SpConvStats:
+    """Combined statistics of a dual-side sparse convolution.
+
+    Attributes:
+        im2col: operation counts of the bitmap-based sparse im2col.
+        gemm: instruction counts and traffic of the SpGEMM stage.
+        activation_sparsity: zero fraction of the input feature map.
+        weight_sparsity: zero fraction of the weights.
+        lowered_shape: shape of the lowered feature map.
+    """
+
+    im2col: BitmapIm2colStats
+    gemm: DeviceStats
+    activation_sparsity: float
+    weight_sparsity: float
+    lowered_shape: tuple[int, int]
+
+
+@dataclass(frozen=True)
+class SparseConvResult:
+    """Numeric output + statistics of a dual-side sparse convolution."""
+
+    output: np.ndarray
+    stats: SpConvStats
+
+
+def sparse_conv2d(
+    feature_map: np.ndarray,
+    weights: np.ndarray,
+    stride: int = 1,
+    padding: int = 0,
+    config: WarpTileConfig | None = None,
+) -> SparseConvResult:
+    """Dual-side sparse convolution via bitmap im2col + outer-product SpGEMM.
+
+    Args:
+        feature_map: dense (C, H, W) input feature map (zeros included).
+        weights: dense (N, C, K, K) convolution weights.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        config: warp tile geometry forwarded to the SpGEMM.
+
+    Returns:
+        The (N, OH, OW) output feature map plus pipeline statistics.  The
+        output is numerically equal to the dense reference convolution.
+    """
+    feature_map = np.asarray(feature_map)
+    weights = np.asarray(weights)
+    if weights.ndim != 4:
+        raise ShapeError(f"weights must be (N, C, K, K), got {weights.shape}")
+    if feature_map.ndim != 3:
+        raise ShapeError(f"feature_map must be (C, H, W), got {feature_map.shape}")
+    if weights.shape[1] != feature_map.shape[0]:
+        raise ShapeError(
+            f"channel mismatch: feature map has {feature_map.shape[0]} channels, "
+            f"weights expect {weights.shape[1]}"
+        )
+    kernel = weights.shape[-1]
+    channels, height, width = feature_map.shape
+    out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
+
+    im2col_result = bitmap_im2col(feature_map, kernel, stride, padding)
+    flat_weights = flatten_weights(weights)
+    gemm_result = device_spgemm(im2col_result.lowered, flat_weights, config=config)
+
+    n_filters = weights.shape[0]
+    output = (
+        gemm_result.output.reshape(out_h, out_w, n_filters).transpose(2, 0, 1)
+    )
+    stats = SpConvStats(
+        im2col=im2col_result.stats,
+        gemm=gemm_result.stats,
+        activation_sparsity=sparsity_of(feature_map.reshape(channels, -1)),
+        weight_sparsity=sparsity_of(weights.reshape(n_filters, -1)),
+        lowered_shape=im2col_result.lowered.shape,
+    )
+    return SparseConvResult(output=output, stats=stats)

@@ -1,0 +1,299 @@
+"""Device-level tiled SpGEMM using the two-level bitmap (Figures 8 and 9).
+
+The full SpGEMM is partitioned into thread-block / warp tiles.  Every
+output tile of size ``TM x TN`` accumulates contributions from pairs of
+input tiles along the reduction dimension, each pair processed by the
+warp-level SpGEMM of :mod:`repro.core.spgemm_warp`.  The two-level bitmap
+adds a warp-bit per input tile so a pair in which either tile is entirely
+empty is skipped without issuing a single instruction.
+
+Two execution paths are provided:
+
+* :func:`device_spgemm` — the functional path.  It produces the numeric
+  result and exact statistics; intended for matrices up to a few thousand
+  elements per side (it loops over warp tiles in Python).
+* :func:`count_device_instructions` — the exact *counting* path.  It
+  computes the same instruction counts with vectorised NumPy reductions
+  without materialising any partial product, so it scales to the
+  4096x4096x4096 GEMMs of Figure 21.  The two paths are cross-checked in
+  ``tests/core/test_spgemm_device.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.spgemm_warp import WarpStats, WarpTileConfig, warp_spgemm
+from repro.errors import ShapeError
+from repro.formats.bitmap import BitmapMatrix
+from repro.formats.hierarchical import TwoLevelBitmapMatrix
+from repro.utils.tiling import ceil_div, num_tiles, tile_ranges
+from repro.utils.validation import check_2d
+
+
+@dataclass
+class DeviceStats:
+    """Aggregate statistics of a device-level SpGEMM.
+
+    Attributes:
+        warp: aggregated warp-level instruction counts.
+        warp_tile_pairs_total: number of (A tile, B tile) pairs visited.
+        warp_tile_pairs_skipped: pairs skipped thanks to the warp-bitmap
+            (either input tile entirely empty).
+        a_bytes_dense / b_bytes_dense: dense operand sizes in bytes.
+        a_bytes_compressed / b_bytes_compressed: bitmap-encoded operand
+            sizes in bytes (what the sparse kernel actually loads).
+        output_bytes: size of the written output matrix in bytes.
+    """
+
+    warp: WarpStats = field(default_factory=WarpStats)
+    warp_tile_pairs_total: int = 0
+    warp_tile_pairs_skipped: int = 0
+    a_bytes_dense: int = 0
+    b_bytes_dense: int = 0
+    a_bytes_compressed: int = 0
+    b_bytes_compressed: int = 0
+    output_bytes: int = 0
+
+    @property
+    def instruction_speedup(self) -> float:
+        """Dense / sparse ratio of issued OHMMA instructions."""
+        return self.warp.instruction_speedup
+
+    @property
+    def tile_skip_fraction(self) -> float:
+        """Fraction of warp-tile pairs skipped by the warp-bitmap."""
+        if self.warp_tile_pairs_total == 0:
+            return 0.0
+        return self.warp_tile_pairs_skipped / self.warp_tile_pairs_total
+
+
+@dataclass(frozen=True)
+class DeviceSpGemmResult:
+    """Numeric result + statistics of a device-level SpGEMM."""
+
+    output: np.ndarray
+    stats: DeviceStats
+
+
+def device_spgemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    config: WarpTileConfig | None = None,
+    element_bytes: int = 2,
+    collect_positions: bool = False,
+) -> DeviceSpGemmResult:
+    """Functional device-level SpGEMM.
+
+    Args:
+        a: dense (M x K) left operand (zeros included).
+        b: dense (K x N) right operand.
+        config: warp tile geometry (defaults to the paper's 32x32x16).
+        element_bytes: operand element width used for traffic accounting.
+        collect_positions: record accumulation-buffer access positions
+            (slow; only for small, hardware-replayed cases).
+
+    Returns:
+        The product ``a @ b`` plus the statistics needed by the cost
+        models.
+    """
+    config = config or WarpTileConfig()
+    a = check_2d(a, "a")
+    b = check_2d(b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    m_dim, k_dim = a.shape
+    n_dim = b.shape[1]
+
+    a_encoded = TwoLevelBitmapMatrix.from_dense(
+        a, tile_shape=(config.tm, config.tk), order="col", element_bytes=element_bytes
+    )
+    b_encoded = TwoLevelBitmapMatrix.from_dense(
+        b, tile_shape=(config.tk, config.tn), order="row", element_bytes=element_bytes
+    )
+
+    stats = DeviceStats()
+    stats.a_bytes_dense = a.size * element_bytes
+    stats.b_bytes_dense = b.size * element_bytes
+    stats.a_bytes_compressed = a_encoded.footprint_bytes()
+    stats.b_bytes_compressed = b_encoded.footprint_bytes()
+    stats.output_bytes = m_dim * n_dim * 4  # FP32 accumulators written back
+
+    output = np.zeros((m_dim, n_dim), dtype=np.float64)
+    row_tiles = list(tile_ranges(m_dim, config.tm))
+    col_tiles = list(tile_ranges(n_dim, config.tn))
+    k_tiles = list(tile_ranges(k_dim, config.tk))
+
+    for ti, (r0, r1) in enumerate(row_tiles):
+        for tj, (c0, c1) in enumerate(col_tiles):
+            accumulator = output[r0:r1, c0:c1]
+            for tk, (k0, k1) in enumerate(k_tiles):
+                stats.warp_tile_pairs_total += 1
+                if a_encoded.tile_is_empty(ti, tk) or b_encoded.tile_is_empty(tk, tj):
+                    stats.warp_tile_pairs_skipped += 1
+                    # Dense execution would still have paid for this pair.
+                    dense_cost = len(range(k0, k1)) * config.ohmma_per_set
+                    stats.warp.ohmma_dense += dense_cost
+                    stats.warp.ohmma_skipped += dense_cost
+                    stats.warp.sets_total += k1 - k0
+                    stats.warp.sets_skipped += k1 - k0
+                    continue
+                _, warp_stats = warp_spgemm(
+                    a[r0:r1, k0:k1],
+                    b[k0:k1, c0:c1],
+                    config=config,
+                    accumulator=accumulator,
+                    collect_positions=collect_positions,
+                )
+                stats.warp.merge_with(warp_stats)
+    return DeviceSpGemmResult(output=output, stats=stats)
+
+
+# --------------------------------------------------------------------- #
+# Exact vectorised instruction counting (for large matrices)
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class InstructionCounts:
+    """Exact instruction counts of a device-level SpGEMM execution.
+
+    Produced by :func:`count_device_instructions` without running the
+    numeric multiplication.  All counts match what :func:`device_spgemm`
+    would report for the same inputs.
+    """
+
+    ohmma_issued: int
+    ohmma_dense: int
+    ohmma_skipped: int
+    bohmma_issued: int
+    popc_issued: int
+    sets_total: int
+    sets_skipped: int
+    warp_tile_pairs_total: int
+    warp_tile_pairs_skipped: int
+    multiply_macs: int
+    merge_accesses: int
+    a_bytes_compressed: int
+    b_bytes_compressed: int
+    a_bytes_dense: int
+    b_bytes_dense: int
+    output_bytes: int
+
+    @property
+    def instruction_speedup(self) -> float:
+        """Dense / sparse ratio of issued OHMMA instructions."""
+        if self.ohmma_issued == 0:
+            return float(self.ohmma_dense) if self.ohmma_dense else 1.0
+        return self.ohmma_dense / self.ohmma_issued
+
+
+def _pad_to_tiles(matrix: np.ndarray, tile_rows: int, tile_cols: int) -> np.ndarray:
+    """Zero-pad a matrix so both dimensions are tile multiples."""
+    rows = ceil_div(matrix.shape[0], tile_rows) * tile_rows
+    cols = ceil_div(matrix.shape[1], tile_cols) * tile_cols
+    if (rows, cols) == matrix.shape:
+        return matrix
+    padded = np.zeros((rows, cols), dtype=matrix.dtype)
+    padded[: matrix.shape[0], : matrix.shape[1]] = matrix
+    return padded
+
+
+def count_device_instructions(
+    a: np.ndarray,
+    b: np.ndarray,
+    config: WarpTileConfig | None = None,
+    element_bytes: int = 2,
+) -> InstructionCounts:
+    """Count instructions of the tiled SpGEMM with vectorised reductions.
+
+    The OHMMA count factorises over the reduction dimension: for a fixed
+    k, the number of OHMMA instructions issued across all output tiles is
+    ``(sum over row tiles of ceil(nnz_A_tilecol / 8)) x (sum over column
+    tiles of ceil(nnz_B_tilerow / 16))``, so the total is a single sum
+    over k of a product of per-k reductions — no loop over output tiles
+    is needed.
+    """
+    config = config or WarpTileConfig()
+    a = check_2d(a, "a")
+    b = check_2d(b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    m_dim, k_dim = a.shape
+    n_dim = b.shape[1]
+
+    a_mask = _pad_to_tiles(a != 0, config.tm, config.tk)
+    b_mask = _pad_to_tiles(b != 0, config.tk, config.tn)
+    padded_k = a_mask.shape[1]
+
+    n_row_tiles = a_mask.shape[0] // config.tm
+    n_col_tiles = b_mask.shape[1] // config.tn
+    n_k_tiles = padded_k // config.tk
+
+    # nnz of each (row tile, k) column segment of A: shape (row_tiles, K).
+    a_seg_nnz = a_mask.reshape(n_row_tiles, config.tm, padded_k).sum(axis=1)
+    # nnz of each (k, col tile) row segment of B: shape (K, col_tiles).
+    b_seg_nnz = (
+        b_mask.reshape(padded_k, n_col_tiles, config.tn).sum(axis=2)
+    )
+
+    # Quantised OHMMA group counts per segment.
+    a_groups = np.ceil(a_seg_nnz / config.ohmma_m).astype(np.int64)
+    b_groups = np.ceil(b_seg_nnz / config.ohmma_n).astype(np.int64)
+
+    # OHMMA issued = sum_k (sum_i a_groups[i,k]) * (sum_j b_groups[k,j]).
+    ohmma_issued = int(np.sum(a_groups.sum(axis=0) * b_groups.sum(axis=1)))
+
+    # BOHMMA / non-skipped sets: one per (i, k, j) where both segments
+    # hold at least one non-zero.
+    a_nonempty = (a_seg_nnz > 0).sum(axis=0)
+    b_nonempty = (b_seg_nnz > 0).sum(axis=1)
+    active_sets = int(np.sum(a_nonempty * b_nonempty))
+
+    # Warp-tile occupancy for the two-level bitmap skip.
+    a_tile_nnz = a_seg_nnz.reshape(n_row_tiles, n_k_tiles, config.tk).sum(axis=2)
+    b_tile_nnz = b_seg_nnz.reshape(n_k_tiles, config.tk, n_col_tiles).sum(axis=1)
+    a_tile_occupied = a_tile_nnz > 0
+    b_tile_occupied = b_tile_nnz > 0
+    pairs_total = n_row_tiles * n_col_tiles * n_k_tiles
+    # For each k tile, every occupied A row tile pairs with every occupied
+    # B column tile; all other pairs are skipped by the warp-bitmap.
+    pairs_active = int(
+        np.sum(a_tile_occupied.sum(axis=0) * b_tile_occupied.sum(axis=1))
+    )
+    pairs_skipped = pairs_total - pairs_active
+
+    sets_total = n_row_tiles * n_col_tiles * padded_k
+    sets_skipped = sets_total - active_sets
+    ohmma_dense = sets_total * config.ohmma_per_set
+
+    # POPC: two per set, only issued for pairs that are not skipped at the
+    # warp-bitmap level (a skipped pair issues nothing at all).
+    popc_issued = 2 * pairs_active * config.tk
+
+    # Useful MACs and merge accesses: every non-zero partial product is
+    # one MAC and one gather+accumulate+scatter.
+    macs = int(np.sum(a_seg_nnz.sum(axis=0).astype(np.int64) * b_seg_nnz.sum(axis=1)))
+
+    a_nnz = int(np.count_nonzero(a))
+    b_nnz = int(np.count_nonzero(b))
+    a_bitmap_bits = m_dim * k_dim + n_row_tiles * n_k_tiles
+    b_bitmap_bits = k_dim * n_dim + n_k_tiles * n_col_tiles
+    return InstructionCounts(
+        ohmma_issued=ohmma_issued,
+        ohmma_dense=ohmma_dense,
+        ohmma_skipped=ohmma_dense - ohmma_issued,
+        bohmma_issued=active_sets,
+        popc_issued=popc_issued,
+        sets_total=sets_total,
+        sets_skipped=sets_skipped,
+        warp_tile_pairs_total=pairs_total,
+        warp_tile_pairs_skipped=pairs_skipped,
+        multiply_macs=macs,
+        merge_accesses=macs,
+        a_bytes_compressed=a_nnz * element_bytes + (a_bitmap_bits + 7) // 8,
+        b_bytes_compressed=b_nnz * element_bytes + (b_bitmap_bits + 7) // 8,
+        a_bytes_dense=m_dim * k_dim * element_bytes,
+        b_bytes_dense=k_dim * n_dim * element_bytes,
+        output_bytes=m_dim * n_dim * 4,
+    )

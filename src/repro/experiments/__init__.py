@@ -1,0 +1,29 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+Each module exposes a ``run_*`` function returning plain rows (lists of
+dictionaries) so the same code backs the unit tests, the pytest-benchmark
+harnesses in ``benchmarks/`` and the command-line report
+(``python -m repro.experiments.runner``).
+"""
+
+from repro.experiments.table2_models import run_table2
+from repro.experiments.table3_im2col import run_table3
+from repro.experiments.fig21_spgemm import run_fig21
+from repro.experiments.fig22_models import run_fig22
+from repro.experiments.table4_overhead import run_table4
+from repro.experiments.fig5_warp_skipping import run_fig5
+from repro.experiments.fig6_tiling_speedup import run_fig6
+from repro.experiments.fig19_operand_collector import run_fig19
+from repro.experiments.report import format_rows
+
+__all__ = [
+    "run_table2",
+    "run_table3",
+    "run_fig21",
+    "run_fig22",
+    "run_table4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig19",
+    "format_rows",
+]

@@ -1,0 +1,105 @@
+"""Figure 21 — SpGEMM execution time versus operand sparsity.
+
+Workload: a 4096x4096x4096 GEMM.  Matrix A's sparsity sweeps 0-99.9%;
+matrix B's sparsity takes one of several fixed values.  Compared methods:
+CUTLASS (dense), cuSparse (B fixed at 99%, A >= 90% only, as in the
+paper), the vector-wise Sparse Tensor Core [72] and our dual-side sparse
+Tensor Core.
+"""
+
+from __future__ import annotations
+
+from repro.hw.config import GpuConfig
+from repro.kernels.gemm_cusparse import CusparseGemm
+from repro.kernels.gemm_dense import CutlassGemm
+from repro.kernels.gemm_dual_sparse import DualSparseGemm
+from repro.kernels.gemm_sparse_tc import SparseTensorCoreGemm
+
+#: Matrix A sparsity sweep (fraction of zeros).
+A_SPARSITY_POINTS = (0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99, 0.999)
+#: Matrix B sparsity curves of the figure.
+B_SPARSITY_POINTS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99, 0.999)
+#: cuSparse is only reported for A sparsity >= 90% with B at 99%.
+CUSPARSE_A_POINTS = (0.9, 0.95, 0.99, 0.999)
+
+#: Paper anchor observations used for shape comparison.
+PAPER_ANCHORS = {
+    "sparse_tc_speedup": 1.86,
+    "ours_a0_b99_speedup": 13.4,
+    "ours_a999_b99_speedup": 23.0,
+    "ours_break_even_a_sparsity_b_dense": 0.25,
+    "cusparse_a999_speedup": 1.67,
+}
+
+
+def run_fig21(
+    size: int = 4096, config: GpuConfig | None = None
+) -> list[dict]:
+    """Reproduce the Figure 21 sweep.
+
+    Args:
+        size: GEMM dimension (M = N = K); 4096 matches the paper, smaller
+            values give quicker runs with the same qualitative shape.
+        config: optional GPU configuration override.
+
+    Returns:
+        One row per (method, A sparsity, B sparsity) with the modelled
+        execution time and the speedup over the dense CUTLASS baseline.
+    """
+    cutlass = CutlassGemm(config)
+    cusparse = CusparseGemm(config)
+    sparse_tc = SparseTensorCoreGemm(config)
+    ours = DualSparseGemm(config)
+
+    baseline = cutlass.estimate_from_shape(size, size, size)
+    rows = [
+        {
+            "method": baseline.method,
+            "a_sparsity": 0.0,
+            "b_sparsity": 0.0,
+            "time_us": baseline.time_us,
+            "speedup_vs_cutlass": 1.0,
+        }
+    ]
+
+    # Sparse Tensor Core: a single flat line (75% vector-wise pruning).
+    stc = sparse_tc.estimate_from_sparsity(size, size, size, weight_sparsity=0.75)
+    rows.append(
+        {
+            "method": stc.method,
+            "a_sparsity": 0.0,
+            "b_sparsity": 0.75,
+            "time_us": stc.time_us,
+            "speedup_vs_cutlass": baseline.time_us / stc.time_us,
+        }
+    )
+
+    for a_sparsity in CUSPARSE_A_POINTS:
+        estimate = cusparse.estimate_from_sparsity(
+            size, size, size, a_sparsity, b_sparsity=0.99
+        )
+        rows.append(
+            {
+                "method": estimate.method,
+                "a_sparsity": a_sparsity,
+                "b_sparsity": 0.99,
+                "time_us": estimate.time_us,
+                "speedup_vs_cutlass": baseline.time_us / estimate.time_us,
+            }
+        )
+
+    for b_sparsity in B_SPARSITY_POINTS:
+        for a_sparsity in A_SPARSITY_POINTS:
+            estimate = ours.estimate_from_sparsity(
+                size, size, size, a_sparsity, b_sparsity
+            )
+            rows.append(
+                {
+                    "method": estimate.method,
+                    "a_sparsity": a_sparsity,
+                    "b_sparsity": b_sparsity,
+                    "time_us": estimate.time_us,
+                    "speedup_vs_cutlass": baseline.time_us / estimate.time_us,
+                }
+            )
+    return rows

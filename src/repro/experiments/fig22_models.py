@@ -1,0 +1,68 @@
+"""Figure 22 — layer-wise and full-model inference speedups.
+
+CNN models (VGG-16, ResNet-18, Mask R-CNN) are compared across five
+convolution methods normalised to Dense Implicit; BERT-base encoder and
+the RNN are compared across three GEMM methods normalised to Dense GEMM.
+"""
+
+from __future__ import annotations
+
+from repro.hw.config import GpuConfig
+from repro.nn.inference import ModelEvaluator
+from repro.nn.models import MODEL_REGISTRY, get_model
+
+#: Paper-reported aggregate observations, for shape comparison.
+PAPER_ANCHORS = {
+    "cnn_dual_sparse_avg_speedup": 4.38,
+    "cnn_dual_sparse_max_speedup": 7.49,
+    "cnn_single_sparse_implicit_avg": 1.92,
+    "nlp_dual_sparse_avg_speedup": 6.74,
+    "nlp_dual_sparse_max_speedup": 8.45,
+    "nlp_single_sparse_avg": 1.51,
+}
+
+
+def run_fig22(
+    models: tuple[str, ...] | None = None,
+    config: GpuConfig | None = None,
+    seed: int = 2021,
+) -> list[dict]:
+    """Reproduce the Figure 22 per-layer and per-model speedups.
+
+    Args:
+        models: subset of model names to evaluate (defaults to all five).
+        config: optional GPU configuration override.
+        seed: RNG seed for the synthetic pruned weight matrices.
+
+    Returns:
+        One row per (model, layer, method) plus a ``full-model`` row per
+        (model, method), each with the speedup over the model's baseline.
+    """
+    names = models or tuple(MODEL_REGISTRY)
+    evaluator = ModelEvaluator(config, seed=seed)
+    rows: list[dict] = []
+    for name in names:
+        model = get_model(name)
+        result = evaluator.evaluate(model)
+        for layer_result in result.layer_results:
+            for method, estimate in layer_result.estimates.items():
+                rows.append(
+                    {
+                        "model": name,
+                        "layer": layer_result.layer,
+                        "method": method,
+                        "time_us": estimate.time_us,
+                        "speedup_vs_baseline": layer_result.speedup(method),
+                    }
+                )
+        for method, speedup in result.summary().items():
+            rows.append(
+                {
+                    "model": name,
+                    "layer": "full-model",
+                    "method": method,
+                    "time_us": result.total_time_us(method),
+                    "speedup_vs_baseline": speedup,
+                }
+            )
+    return rows

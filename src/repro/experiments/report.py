@@ -1,0 +1,35 @@
+"""Small helpers to print experiment rows as aligned text tables."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+
+def format_rows(rows: Iterable[Mapping], title: str | None = None) -> str:
+    """Render a list of dict rows as an aligned plain-text table."""
+    rows = [dict(row) for row in rows]
+    if not rows:
+        return f"{title or ''}\n(no rows)"
+    columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_fmt(row.get(column))) for row in rows))
+        for column in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(_fmt(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    """Format one cell: floats get 3 significant decimals."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,70 @@
+"""Command-line entry point: regenerate every table and figure.
+
+Usage::
+
+    python -m repro.experiments.runner             # everything (slow-ish)
+    python -m repro.experiments.runner table3 fig21
+
+The Figure 21 sweep defaults to the paper's 4096-sized GEMM; pass
+``--quick`` to shrink the workloads for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.fig5_warp_skipping import run_fig5
+from repro.experiments.fig6_tiling_speedup import run_fig6
+from repro.experiments.fig19_operand_collector import run_fig19
+from repro.experiments.fig21_spgemm import run_fig21
+from repro.experiments.fig22_models import run_fig22
+from repro.experiments.report import format_rows
+from repro.experiments.table2_models import run_table2
+from repro.experiments.table3_im2col import run_table3
+from repro.experiments.table4_overhead import run_table4
+
+
+def _build_registry(quick: bool):
+    """Map experiment names to zero-argument callables."""
+    return {
+        "table2": lambda: run_table2(),
+        "table3": lambda: run_table3(scale=0.5 if quick else 1.0),
+        "table4": lambda: run_table4(),
+        "fig5": lambda: run_fig5(),
+        "fig6": lambda: run_fig6(size=128 if quick else 256),
+        "fig19": lambda: run_fig19(num_instructions=16 if quick else 64),
+        "fig21": lambda: run_fig21(size=1024 if quick else 4096),
+        "fig22": lambda: run_fig22(
+            models=("ResNet-18", "BERT-base Encoder") if quick else None
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the selected experiments and print their tables."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="shrink workloads for a fast smoke run"
+    )
+    args = parser.parse_args(argv)
+
+    registry = _build_registry(args.quick)
+    names = args.experiments or list(registry)
+    unknown = [name for name in names if name not in registry]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}; available: {sorted(registry)}")
+    for name in names:
+        rows = registry[name]()
+        print(format_rows(rows, title=f"=== {name} ==="))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Table III — normalised im2col time of dense / CSR / bitmap variants.
+
+Workload: the ResNet-18 layer the paper uses (feature map 56x56, 3x3
+kernel, 128 input and output channels), swept over feature-map sparsity
+{0, 25, 50, 75, 99, 99.9}%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.im2col_cost import Im2colCostModel, compare_im2col_methods
+from repro.kernels.layer_spec import ConvLayerSpec
+
+#: The sparsity points of Table III.
+SPARSITY_POINTS = (0.0, 0.25, 0.5, 0.75, 0.99, 0.999)
+
+#: Paper-reported normalised times, used for shape comparison in
+#: EXPERIMENTS.md and the regression tests.
+PAPER_CSR = {0.0: 101.3, 0.25: 67.1, 0.5: 45.2, 0.75: 14.5, 0.99: 4.7, 0.999: 1.2}
+PAPER_BITMAP = {0.0: 8.31, 0.25: 6.87, 0.5: 4.73, 0.75: 2.5, 0.99: 1.5, 0.999: 1.1}
+
+
+def table3_layer() -> ConvLayerSpec:
+    """The convolution layer of Table III."""
+    return ConvLayerSpec(
+        name="resnet18-conv (H/W=56, K=3, C=128)",
+        in_channels=128,
+        out_channels=128,
+        height=56,
+        width=56,
+        kernel=3,
+        stride=1,
+        padding=1,
+    )
+
+
+def run_table3(seed: int = 2021, scale: float = 1.0) -> list[dict]:
+    """Reproduce Table III.
+
+    Args:
+        seed: RNG seed for the synthetic feature-map masks.
+        scale: spatial scale factor (<1 shrinks the layer for quick runs;
+            the normalised results are size-invariant to first order).
+    """
+    rng = np.random.default_rng(seed)
+    base = table3_layer()
+    spec = ConvLayerSpec(
+        name=base.name,
+        in_channels=base.in_channels,
+        out_channels=base.out_channels,
+        height=max(8, int(base.height * scale)),
+        width=max(8, int(base.width * scale)),
+        kernel=base.kernel,
+        stride=base.stride,
+        padding=base.padding,
+    )
+    cost_model = Im2colCostModel()
+    rows = []
+    for sparsity in SPARSITY_POINTS:
+        comparison = compare_im2col_methods(spec, sparsity, rng, cost_model)
+        rows.append(
+            {
+                "sparsity_percent": sparsity * 100.0,
+                "dense_im2col": comparison.dense_normalized,
+                "csr_im2col": comparison.csr_normalized,
+                "bitmap_im2col": comparison.bitmap_normalized,
+                "paper_csr": PAPER_CSR[sparsity],
+                "paper_bitmap": PAPER_BITMAP[sparsity],
+            }
+        )
+    return rows

@@ -1,0 +1,42 @@
+"""Table IV — area and power overhead of the added hardware."""
+
+from __future__ import annotations
+
+from repro.hw.area_model import AreaPowerModel
+from repro.hw.config import GpuConfig
+
+#: Paper-reported component estimates (mm^2 at 12 nm, W).
+PAPER_TABLE4 = {
+    "Float Point Adders": (0.121, 2.35),
+    "Accumulation Operand Collector": (1.51, 0.46),
+    "Shared Accumulation Buffer": (11.215, 1.08),
+    "Total overhead on V100": (12.846, 3.89),
+}
+
+
+def run_table4(config: GpuConfig | None = None) -> list[dict]:
+    """Reproduce Table IV with the analytic area/power model."""
+    model = AreaPowerModel(config)
+    report = model.report()
+    rows = []
+    for row in report.as_rows():
+        paper_area, paper_power = PAPER_TABLE4.get(row["module"], (None, None))
+        rows.append(
+            {
+                "module": row["module"],
+                "area_mm2": row["area_mm2"],
+                "power_w": row["power_w"],
+                "paper_area_mm2": paper_area,
+                "paper_power_w": paper_power,
+            }
+        )
+    rows.append(
+        {
+            "module": "Fraction of V100",
+            "area_mm2": report.area_fraction,
+            "power_w": report.power_fraction,
+            "paper_area_mm2": 0.015,
+            "paper_power_w": 0.016,
+        }
+    )
+    return rows

@@ -1,0 +1,46 @@
+"""Sparse matrix encodings used throughout the reproduction.
+
+The paper compares three families of encodings (Table I):
+
+* **CSR** — used by cuSparse and by the CSR-im2col baseline (Table III).
+* **Bitmap** — the paper's choice: a dense bit matrix marking non-zero
+  positions plus a condensed value vector (Figure 2b).
+* **Two-level (hierarchical) bitmap** — a warp-tile-aware variant that
+  adds a per-tile occupancy bit so empty warp tiles can be skipped as a
+  whole (Figure 9).
+
+COO and a thin dense wrapper are provided as interchange formats.
+"""
+
+from repro.formats.dense import DenseMatrix
+from repro.formats.coo import CooMatrix
+from repro.formats.csr import CsrMatrix
+from repro.formats.bitmap import BitmapMatrix
+from repro.formats.hierarchical import TwoLevelBitmapMatrix, BitmapTile
+from repro.formats.conversions import (
+    dense_to_csr,
+    csr_to_dense,
+    dense_to_coo,
+    coo_to_dense,
+    dense_to_bitmap,
+    bitmap_to_dense,
+    csr_to_bitmap,
+    bitmap_to_csr,
+)
+
+__all__ = [
+    "DenseMatrix",
+    "CooMatrix",
+    "CsrMatrix",
+    "BitmapMatrix",
+    "TwoLevelBitmapMatrix",
+    "BitmapTile",
+    "dense_to_csr",
+    "csr_to_dense",
+    "dense_to_coo",
+    "coo_to_dense",
+    "dense_to_bitmap",
+    "bitmap_to_dense",
+    "csr_to_bitmap",
+    "bitmap_to_csr",
+]

@@ -1,0 +1,186 @@
+"""One-level bitmap sparse encoding (Figure 2b of the paper).
+
+A matrix is stored as a two-tuple:
+
+* ``bitmap`` — a dense bit matrix with 1s at non-zero positions, and
+* ``values`` — the non-zero values in *column-major* order for the left
+  operand of an outer product (matrix A) or *row-major* order for the
+  right operand (matrix B).
+
+Storing A column-major and B row-major means the condensed vector that
+feeds one outer-product step (one column of A, one row of B) is a
+contiguous slice of the value array — exactly the property the hardware
+relies on to feed the FEOP units with simple register reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.utils.bitops import pack_bits
+from repro.utils.validation import check_2d
+
+#: Value layouts supported by the encoding.
+COLUMN_MAJOR = "col"
+ROW_MAJOR = "row"
+_VALID_ORDERS = (COLUMN_MAJOR, ROW_MAJOR)
+
+
+@dataclass(frozen=True)
+class BitmapMatrix:
+    """Bitmap-encoded sparse matrix.
+
+    Attributes:
+        shape: (rows, cols) of the logical matrix.
+        bitmap: boolean array of ``shape`` with True at non-zero positions.
+        values: condensed non-zero values; column-major when
+            ``order == "col"``, row-major when ``order == "row"``.
+        order: value layout, ``"col"`` (matrix A) or ``"row"`` (matrix B).
+        element_bytes: byte width of one value (2 = FP16).
+    """
+
+    shape: tuple[int, int]
+    bitmap: np.ndarray
+    values: np.ndarray
+    order: str = COLUMN_MAJOR
+    element_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        bitmap = np.asarray(self.bitmap, dtype=bool)
+        values = np.asarray(self.values)
+        if bitmap.shape != tuple(self.shape):
+            raise FormatError(
+                f"bitmap shape {bitmap.shape} does not match matrix shape {self.shape}"
+            )
+        if self.order not in _VALID_ORDERS:
+            raise FormatError(f"order must be one of {_VALID_ORDERS}, got {self.order!r}")
+        if values.ndim != 1:
+            raise FormatError("values must be a 1-D condensed array")
+        if int(bitmap.sum()) != values.size:
+            raise FormatError(
+                f"bitmap has {int(bitmap.sum())} set bits but values holds "
+                f"{values.size} elements"
+            )
+        object.__setattr__(self, "bitmap", bitmap)
+        object.__setattr__(self, "values", values)
+
+    # ------------------------------------------------------------------ #
+    # Construction / materialisation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(
+        cls, dense: np.ndarray, order: str = COLUMN_MAJOR, element_bytes: int = 2
+    ) -> "BitmapMatrix":
+        """Encode a dense 2-D array.
+
+        Args:
+            dense: dense input matrix.
+            order: ``"col"`` for outer-product left operands (A),
+                ``"row"`` for right operands (B).
+            element_bytes: byte width of one value.
+        """
+        dense = check_2d(dense, "dense")
+        bitmap = dense != 0
+        if order == COLUMN_MAJOR:
+            values = dense.T[bitmap.T]
+        elif order == ROW_MAJOR:
+            values = dense[bitmap]
+        else:
+            raise FormatError(f"order must be one of {_VALID_ORDERS}, got {order!r}")
+        return cls(
+            shape=dense.shape,
+            bitmap=bitmap,
+            values=values,
+            order=order,
+            element_bytes=element_bytes,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Decode back to a dense array."""
+        dtype = self.values.dtype if self.values.size else np.float32
+        out = np.zeros(self.shape, dtype=dtype)
+        if self.order == COLUMN_MAJOR:
+            out_t = out.T
+            out_t[self.bitmap.T] = self.values
+            return out_t.T
+        out[self.bitmap] = self.values
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Slicing helpers used by the outer-product algorithm
+    # ------------------------------------------------------------------ #
+    def _column_offsets(self) -> np.ndarray:
+        """Exclusive prefix sum of per-column nnz (column-major layout)."""
+        col_nnz = self.bitmap.sum(axis=0)
+        offsets = np.zeros(self.shape[1] + 1, dtype=np.int64)
+        np.cumsum(col_nnz, out=offsets[1:])
+        return offsets
+
+    def _row_offsets(self) -> np.ndarray:
+        """Exclusive prefix sum of per-row nnz (row-major layout)."""
+        row_nnz = self.bitmap.sum(axis=1)
+        offsets = np.zeros(self.shape[0] + 1, dtype=np.int64)
+        np.cumsum(row_nnz, out=offsets[1:])
+        return offsets
+
+    def column(self, j: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (bitmap column, condensed values) of column ``j``.
+
+        Only valid for column-major encodings; this is the A-side operand
+        of one outer-product step.
+        """
+        if self.order != COLUMN_MAJOR:
+            raise FormatError("column() requires a column-major (order='col') encoding")
+        if not 0 <= j < self.shape[1]:
+            raise ShapeError(f"column {j} out of range for shape {self.shape}")
+        offsets = self._column_offsets()
+        return self.bitmap[:, j].copy(), self.values[offsets[j] : offsets[j + 1]]
+
+    def row(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (bitmap row, condensed values) of row ``i``.
+
+        Only valid for row-major encodings; this is the B-side operand of
+        one outer-product step.
+        """
+        if self.order != ROW_MAJOR:
+            raise FormatError("row() requires a row-major (order='row') encoding")
+        if not 0 <= i < self.shape[0]:
+            raise ShapeError(f"row {i} out of range for shape {self.shape}")
+        offsets = self._row_offsets()
+        return self.bitmap[i, :].copy(), self.values[offsets[i] : offsets[i + 1]]
+
+    def packed_bitmap(self) -> np.ndarray:
+        """Bitmap packed into 32-bit words, row by row (hardware layout)."""
+        return pack_bits(self.bitmap.reshape(-1))
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero values."""
+        return int(self.values.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of elements that are non-zero."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of elements that are zero."""
+        return 1.0 - self.density
+
+    def footprint_bytes(self) -> int:
+        """Bytes for the condensed values plus the bit matrix.
+
+        The bitmap costs one bit per logical element; values cost
+        ``element_bytes`` per non-zero.  This is the compressed size the
+        memory-traffic model charges when loading operands from DRAM.
+        """
+        bitmap_bytes = (self.shape[0] * self.shape[1] + 7) // 8
+        return self.nnz * self.element_bytes + bitmap_bytes

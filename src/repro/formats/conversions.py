@@ -1,0 +1,61 @@
+"""Conversions between the sparse formats.
+
+All converters go through a dense intermediate.  That is deliberately
+simple: these paths are used for test fixtures and experiment setup, not
+on the simulated critical path, and a dense round trip is the easiest
+form to verify (see ``tests/formats/test_conversions.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.formats.bitmap import COLUMN_MAJOR, BitmapMatrix
+from repro.formats.coo import CooMatrix
+from repro.formats.csr import CsrMatrix
+
+
+def dense_to_csr(dense: np.ndarray, element_bytes: int = 2) -> CsrMatrix:
+    """Encode a dense matrix as CSR."""
+    return CsrMatrix.from_dense(dense, element_bytes=element_bytes)
+
+
+def csr_to_dense(matrix: CsrMatrix) -> np.ndarray:
+    """Decode a CSR matrix to dense."""
+    return matrix.to_dense()
+
+
+def dense_to_coo(dense: np.ndarray, element_bytes: int = 2) -> CooMatrix:
+    """Encode a dense matrix as COO."""
+    return CooMatrix.from_dense(dense, element_bytes=element_bytes)
+
+
+def coo_to_dense(matrix: CooMatrix) -> np.ndarray:
+    """Decode a COO matrix to dense."""
+    return matrix.to_dense()
+
+
+def dense_to_bitmap(
+    dense: np.ndarray, order: str = COLUMN_MAJOR, element_bytes: int = 2
+) -> BitmapMatrix:
+    """Encode a dense matrix in the paper's bitmap format."""
+    return BitmapMatrix.from_dense(dense, order=order, element_bytes=element_bytes)
+
+
+def bitmap_to_dense(matrix: BitmapMatrix) -> np.ndarray:
+    """Decode a bitmap matrix to dense."""
+    return matrix.to_dense()
+
+
+def csr_to_bitmap(
+    matrix: CsrMatrix, order: str = COLUMN_MAJOR, element_bytes: int = 2
+) -> BitmapMatrix:
+    """Convert CSR to the bitmap encoding (via dense)."""
+    return BitmapMatrix.from_dense(
+        matrix.to_dense(), order=order, element_bytes=element_bytes
+    )
+
+
+def bitmap_to_csr(matrix: BitmapMatrix, element_bytes: int = 2) -> CsrMatrix:
+    """Convert a bitmap encoding to CSR (via dense)."""
+    return CsrMatrix.from_dense(matrix.to_dense(), element_bytes=element_bytes)

@@ -1,0 +1,88 @@
+"""Coordinate (COO) sparse format.
+
+COO is the simplest interchange format: three parallel arrays holding row
+indices, column indices and values of every non-zero.  The reproduction
+uses it as a staging format when building CSR matrices and when sampling
+random sparse matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError
+from repro.utils.validation import check_2d
+
+
+@dataclass(frozen=True)
+class CooMatrix:
+    """Sparse matrix in coordinate format.
+
+    Attributes:
+        shape: (rows, cols) of the logical matrix.
+        rows: row index of each stored element.
+        cols: column index of each stored element.
+        values: value of each stored element.
+        element_bytes: byte width of one value (2 = FP16).
+        index_bytes: byte width of one index (4 = int32).
+    """
+
+    shape: tuple[int, int]
+    rows: np.ndarray
+    cols: np.ndarray
+    values: np.ndarray
+    element_bytes: int = 2
+    index_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        rows = np.asarray(self.rows, dtype=np.int64)
+        cols = np.asarray(self.cols, dtype=np.int64)
+        values = np.asarray(self.values)
+        if not (rows.shape == cols.shape == values.shape):
+            raise FormatError(
+                "COO arrays must have equal lengths, got "
+                f"{rows.shape}, {cols.shape}, {values.shape}"
+            )
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise FormatError("COO row index out of bounds")
+        if cols.size and (cols.min() < 0 or cols.max() >= self.shape[1]):
+            raise FormatError("COO column index out of bounds")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "cols", cols)
+        object.__setattr__(self, "values", values)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, element_bytes: int = 2) -> "CooMatrix":
+        """Build a COO matrix from a dense 2-D array."""
+        dense = check_2d(dense, "dense")
+        rows, cols = np.nonzero(dense)
+        return cls(
+            shape=dense.shape,
+            rows=rows,
+            cols=cols,
+            values=dense[rows, cols],
+            element_bytes=element_bytes,
+        )
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored non-zero elements."""
+        return int(self.values.size)
+
+    @property
+    def density(self) -> float:
+        """Fraction of elements that are non-zero."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        """Materialise the matrix as a dense array."""
+        out = np.zeros(self.shape, dtype=self.values.dtype if self.nnz else np.float32)
+        out[self.rows, self.cols] = self.values
+        return out
+
+    def footprint_bytes(self) -> int:
+        """Bytes needed to store rows + cols + values."""
+        return self.nnz * (2 * self.index_bytes + self.element_bytes)

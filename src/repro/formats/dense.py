@@ -1,0 +1,60 @@
+"""Thin wrapper around a dense 2-D array with sparsity bookkeeping.
+
+A dedicated class (rather than a bare ndarray) gives every format in
+:mod:`repro.formats` the same small interface — ``shape``, ``nnz``,
+``density``, ``to_dense`` and ``footprint_bytes`` — which the kernel cost
+models rely on to compute memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.validation import check_2d
+
+
+@dataclass(frozen=True)
+class DenseMatrix:
+    """A dense matrix together with its element byte width.
+
+    Attributes:
+        data: 2-D NumPy array holding the values.
+        element_bytes: storage size of one element (2 for FP16 operands on
+            Tensor Core, 4 for the FP32 accumulators).
+    """
+
+    data: np.ndarray
+    element_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "data", check_2d(self.data, "DenseMatrix.data"))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """(rows, columns) of the matrix."""
+        return self.data.shape
+
+    @property
+    def nnz(self) -> int:
+        """Number of non-zero elements."""
+        return int(np.count_nonzero(self.data))
+
+    @property
+    def density(self) -> float:
+        """Fraction of elements that are non-zero."""
+        return self.nnz / self.data.size if self.data.size else 0.0
+
+    @property
+    def sparsity(self) -> float:
+        """Fraction of elements that are zero (1 - density)."""
+        return 1.0 - self.density
+
+    def to_dense(self) -> np.ndarray:
+        """Return the underlying array (copy, to keep the wrapper immutable)."""
+        return self.data.copy()
+
+    def footprint_bytes(self) -> int:
+        """Bytes needed to store the matrix densely in global memory."""
+        return self.data.size * self.element_bytes

@@ -1,0 +1,187 @@
+"""Two-level (hierarchical) bitmap encoding (Figure 9 of the paper).
+
+The device-level SpGEMM partitions the input matrices into warp tiles.
+Non-zeros of a tile are stored together so the partial matrix produced by
+that tile stays inside the Tensor Core's accumulation buffer (Figure 8b).
+The encoding is a three-tuple:
+
+* **warp-bitmap** — one bit per tile; 0 means the tile is entirely empty
+  and the warp working on it can be skipped as a whole,
+* **element-bitmap** — the per-tile bitmap of non-zero positions, and
+* **values** — the tile's non-zero values, condensed column- or row-major.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.bitmap import COLUMN_MAJOR, ROW_MAJOR, BitmapMatrix
+from repro.utils.tiling import num_tiles, tile_ranges
+from repro.utils.validation import check_2d
+
+
+@dataclass(frozen=True)
+class BitmapTile:
+    """One warp tile of a :class:`TwoLevelBitmapMatrix`.
+
+    Attributes:
+        row_start: first logical row covered by the tile.
+        col_start: first logical column covered by the tile.
+        encoding: the tile's one-level bitmap encoding (element-bitmap +
+            condensed values); ``None`` when the tile is empty.
+    """
+
+    row_start: int
+    col_start: int
+    encoding: BitmapMatrix | None
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the tile holds no non-zero elements."""
+        return self.encoding is None or self.encoding.nnz == 0
+
+
+@dataclass(frozen=True)
+class TwoLevelBitmapMatrix:
+    """Hierarchical bitmap encoding tiled along both dimensions.
+
+    Attributes:
+        shape: (rows, cols) of the logical matrix.
+        tile_shape: (tile_rows, tile_cols) of one warp tile — (32, 16) for
+            matrix A and (16, 32) for matrix B in the paper's thread-block
+            tiling.
+        warp_bitmap: boolean array (n_row_tiles, n_col_tiles); False marks
+            tiles that are entirely zero.
+        tiles: flattened list of :class:`BitmapTile`, row-major over tiles.
+        order: value layout inside each tile (``"col"`` or ``"row"``).
+        element_bytes: byte width of one value.
+    """
+
+    shape: tuple[int, int]
+    tile_shape: tuple[int, int]
+    warp_bitmap: np.ndarray
+    tiles: tuple[BitmapTile, ...]
+    order: str = COLUMN_MAJOR
+    element_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        warp_bitmap = np.asarray(self.warp_bitmap, dtype=bool)
+        expected = (
+            num_tiles(self.shape[0], self.tile_shape[0]),
+            num_tiles(self.shape[1], self.tile_shape[1]),
+        )
+        if warp_bitmap.shape != expected:
+            raise FormatError(
+                f"warp_bitmap shape {warp_bitmap.shape} does not match the "
+                f"expected tile grid {expected}"
+            )
+        if len(self.tiles) != expected[0] * expected[1]:
+            raise FormatError(
+                f"expected {expected[0] * expected[1]} tiles, got {len(self.tiles)}"
+            )
+        object.__setattr__(self, "warp_bitmap", warp_bitmap)
+
+    # ------------------------------------------------------------------ #
+    # Construction / materialisation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_dense(
+        cls,
+        dense: np.ndarray,
+        tile_shape: tuple[int, int],
+        order: str = COLUMN_MAJOR,
+        element_bytes: int = 2,
+    ) -> "TwoLevelBitmapMatrix":
+        """Encode a dense matrix with the given warp-tile shape."""
+        dense = check_2d(dense, "dense")
+        if order not in (COLUMN_MAJOR, ROW_MAJOR):
+            raise FormatError(f"unknown order {order!r}")
+        tile_rows, tile_cols = tile_shape
+        grid_rows = num_tiles(dense.shape[0], tile_rows)
+        grid_cols = num_tiles(dense.shape[1], tile_cols)
+        warp_bitmap = np.zeros((grid_rows, grid_cols), dtype=bool)
+        tiles: list[BitmapTile] = []
+        for ti, (r0, r1) in enumerate(tile_ranges(dense.shape[0], tile_rows)):
+            for tj, (c0, c1) in enumerate(tile_ranges(dense.shape[1], tile_cols)):
+                block = dense[r0:r1, c0:c1]
+                if np.count_nonzero(block):
+                    warp_bitmap[ti, tj] = True
+                    encoding = BitmapMatrix.from_dense(
+                        block, order=order, element_bytes=element_bytes
+                    )
+                else:
+                    encoding = None
+                tiles.append(BitmapTile(row_start=r0, col_start=c0, encoding=encoding))
+        return cls(
+            shape=dense.shape,
+            tile_shape=tile_shape,
+            warp_bitmap=warp_bitmap,
+            tiles=tuple(tiles),
+            order=order,
+            element_bytes=element_bytes,
+        )
+
+    def to_dense(self) -> np.ndarray:
+        """Decode back to a dense array."""
+        out = np.zeros(self.shape, dtype=np.float32)
+        for tile in self.tiles:
+            if tile.is_empty:
+                continue
+            block = tile.encoding.to_dense()
+            r0, c0 = tile.row_start, tile.col_start
+            out[r0 : r0 + block.shape[0], c0 : c0 + block.shape[1]] = block
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Tile access
+    # ------------------------------------------------------------------ #
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        """Number of tiles along (rows, cols)."""
+        return self.warp_bitmap.shape
+
+    def tile(self, tile_row: int, tile_col: int) -> BitmapTile:
+        """Return the tile at grid position (tile_row, tile_col)."""
+        grid_rows, grid_cols = self.grid_shape
+        if not (0 <= tile_row < grid_rows and 0 <= tile_col < grid_cols):
+            raise ShapeError(
+                f"tile ({tile_row}, {tile_col}) out of range for grid {self.grid_shape}"
+            )
+        return self.tiles[tile_row * grid_cols + tile_col]
+
+    def tile_is_empty(self, tile_row: int, tile_col: int) -> bool:
+        """True when the warp-bit for the tile is 0 (tile can be skipped)."""
+        return not bool(self.warp_bitmap[tile_row, tile_col])
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def nnz(self) -> int:
+        """Total number of stored non-zero values."""
+        return sum(tile.encoding.nnz for tile in self.tiles if not tile.is_empty)
+
+    @property
+    def density(self) -> float:
+        """Fraction of elements that are non-zero."""
+        total = self.shape[0] * self.shape[1]
+        return self.nnz / total if total else 0.0
+
+    @property
+    def occupied_tile_fraction(self) -> float:
+        """Fraction of warp tiles that contain at least one non-zero."""
+        return float(self.warp_bitmap.mean()) if self.warp_bitmap.size else 0.0
+
+    def footprint_bytes(self) -> int:
+        """Compressed size: warp-bitmap + per-tile element bitmaps + values."""
+        warp_bits = self.warp_bitmap.size
+        element_bits = sum(
+            tile.encoding.shape[0] * tile.encoding.shape[1]
+            for tile in self.tiles
+            if not tile.is_empty
+        )
+        value_bytes = self.nnz * self.element_bytes
+        return value_bytes + (warp_bits + element_bits + 7) // 8

@@ -1,0 +1,39 @@
+"""Reduced-fidelity cycle-level model of the modified V100 GPU (Section V).
+
+The hardware model reproduces the mechanisms the paper's speedups rely
+on rather than a full GPGPU-Sim port:
+
+* :mod:`repro.hw.config` — the V100-class machine description.
+* :mod:`repro.hw.tensor_core` / :mod:`repro.hw.otc` — functional + timing
+  models of the stock inner-product Tensor Core (FEDP) and the proposed
+  outer-product Tensor Core (FEOP).
+* :mod:`repro.hw.accumulation_buffer` / :mod:`repro.hw.operand_collector`
+  — the banked accumulation buffer, its dense and sparse access modes and
+  the operand collector that hides bank conflicts (Figures 18-20).
+* :mod:`repro.hw.warp` — a warp-level executor that runs the instruction
+  streams produced by :mod:`repro.isa.wmma` and reports cycles.
+* :mod:`repro.hw.memory` / :mod:`repro.hw.gpu` — a roofline memory system
+  and the whole-device timing model used by the kernel cost models.
+* :mod:`repro.hw.sparse_tc` — behavioural models of the A100 2:4 sparse
+  Tensor Core and the vector-wise Sparse Tensor Core baseline [72].
+* :mod:`repro.hw.area_model` — the CACTI-style area/power estimation
+  behind Table IV.
+"""
+
+from repro.hw.config import GpuConfig, V100_CONFIG
+from repro.hw.gpu import GpuTimingModel, KernelTiming
+from repro.hw.accumulation_buffer import AccumulationBuffer, AccumulationBufferConfig
+from repro.hw.operand_collector import OperandCollector
+from repro.hw.area_model import AreaPowerModel, OverheadReport
+
+__all__ = [
+    "GpuConfig",
+    "V100_CONFIG",
+    "GpuTimingModel",
+    "KernelTiming",
+    "AccumulationBuffer",
+    "AccumulationBufferConfig",
+    "OperandCollector",
+    "AreaPowerModel",
+    "OverheadReport",
+]

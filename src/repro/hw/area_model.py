@@ -1,0 +1,163 @@
+"""Area and power overhead estimation (Table IV).
+
+The paper evaluates its added hardware with CACTI 7 at 22 nm (SRAM
+structures), RTL estimates (adders, operand collector) and scales the
+results to 12 nm with the Stillmaker–Baas scaling equations.  This module
+reimplements that methodology as a parameterised analytic model.  The
+per-component technology constants are calibrated against the published
+component areas so the model reproduces Table IV, and the same model can
+then be queried for design-space variations (different buffer sizes, bank
+counts or adder widths) in the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.config import GpuConfig, V100_CONFIG
+
+
+#: Area scaling factor from 22 nm to 12 nm (Stillmaker & Baas, approx.).
+AREA_SCALE_22_TO_12 = 0.36
+#: Power scaling factor from 22 nm to 12 nm at constant frequency.
+POWER_SCALE_22_TO_12 = 0.52
+
+
+@dataclass(frozen=True)
+class ComponentEstimate:
+    """Area / power estimate of one added hardware component."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Full overhead report corresponding to Table IV.
+
+    Attributes:
+        components: per-component estimates.
+        total_area_mm2: summed area of the added hardware.
+        total_power_w: summed power of the added hardware.
+        area_fraction: share of the V100 die area.
+        power_fraction: share of the V100 TDP.
+    """
+
+    components: tuple[ComponentEstimate, ...]
+    total_area_mm2: float
+    total_power_w: float
+    area_fraction: float
+    power_fraction: float
+
+    def as_rows(self) -> list[dict]:
+        """Rows of Table IV, ready for printing."""
+        rows = [
+            {
+                "module": component.name,
+                "area_mm2": round(component.area_mm2, 3),
+                "power_w": round(component.power_w, 2),
+            }
+            for component in self.components
+        ]
+        rows.append(
+            {
+                "module": "Total overhead on V100",
+                "area_mm2": round(self.total_area_mm2, 3),
+                "power_w": round(self.total_power_w, 2),
+            }
+        )
+        return rows
+
+
+class AreaPowerModel:
+    """CACTI-style analytic area/power model of the added hardware.
+
+    Technology constants (documented below) were calibrated at 22 nm
+    against the published component estimates and are scaled to 12 nm
+    with :data:`AREA_SCALE_22_TO_12` / :data:`POWER_SCALE_22_TO_12`.
+    """
+
+    #: FP32 adder area at 22 nm in mm^2 (synthesised RTL estimate).
+    FP32_ADDER_AREA_22NM_MM2 = 8.2e-6
+    #: FP32 adder dynamic power at 22 nm in watts at nominal activity.
+    FP32_ADDER_POWER_22NM_W = 1.1e-4
+    #: Single-ported SRAM area per KiB at 22 nm in mm^2 (CACTI 7, 32 banks).
+    SRAM_AREA_PER_KB_22NM_MM2 = 0.02434
+    #: SRAM leakage + access power per KiB at 22 nm in watts.
+    SRAM_POWER_PER_KB_22NM_W = 1.62e-3
+    #: Operand collector (queues + crossbar + control) area per sub-core
+    #: at 22 nm in mm^2 (RTL estimate).
+    COLLECTOR_AREA_PER_SUBCORE_22NM_MM2 = 0.0131
+    #: Operand collector power per sub-core at 22 nm in watts.
+    COLLECTOR_POWER_PER_SUBCORE_22NM_W = 2.76e-3
+
+    def __init__(self, config: GpuConfig | None = None) -> None:
+        self.config = config or V100_CONFIG
+
+    # ------------------------------------------------------------------ #
+    # Component models
+    # ------------------------------------------------------------------ #
+    @property
+    def num_subcores(self) -> int:
+        """Number of sub-cores (each gets a buffer, collector and adders)."""
+        return self.config.num_sms * self.config.subcores_per_sm
+
+    def adder_count(self) -> int:
+        """128-way parallel FP32 accumulation adders per sub-core."""
+        return self.num_subcores * 128
+
+    def float_point_adders(self) -> ComponentEstimate:
+        """The extra FP32 adders of the multiply–accumulate pipeline."""
+        count = self.adder_count()
+        area = count * self.FP32_ADDER_AREA_22NM_MM2 * AREA_SCALE_22_TO_12
+        power = count * self.FP32_ADDER_POWER_22NM_W * POWER_SCALE_22_TO_12
+        return ComponentEstimate("Float Point Adders", area, power)
+
+    def accumulation_operand_collector(self) -> ComponentEstimate:
+        """The operand collector added to every accumulation buffer."""
+        area = (
+            self.num_subcores
+            * self.COLLECTOR_AREA_PER_SUBCORE_22NM_MM2
+            * AREA_SCALE_22_TO_12
+        )
+        power = (
+            self.num_subcores
+            * self.COLLECTOR_POWER_PER_SUBCORE_22NM_W
+            * POWER_SCALE_22_TO_12
+        )
+        return ComponentEstimate("Accumulation Operand Collector", area, power)
+
+    def shared_accumulation_buffer(
+        self, buffer_kb: float | None = None
+    ) -> ComponentEstimate:
+        """The banked accumulation buffer SRAM (4 KiB per sub-core)."""
+        if buffer_kb is None:
+            buffer_kb = float(self.config.accumulation_buffer_kb)
+        if buffer_kb <= 0:
+            raise ConfigError("buffer size must be positive")
+        total_kb = self.num_subcores * buffer_kb
+        area = total_kb * self.SRAM_AREA_PER_KB_22NM_MM2 * AREA_SCALE_22_TO_12
+        power = total_kb * self.SRAM_POWER_PER_KB_22NM_W * POWER_SCALE_22_TO_12
+        return ComponentEstimate("Shared Accumulation Buffer", area, power)
+
+    # ------------------------------------------------------------------ #
+    # Full report
+    # ------------------------------------------------------------------ #
+    def report(self, buffer_kb: float | None = None) -> OverheadReport:
+        """Produce the full Table IV overhead report."""
+        components = (
+            self.float_point_adders(),
+            self.accumulation_operand_collector(),
+            self.shared_accumulation_buffer(buffer_kb),
+        )
+        total_area = sum(component.area_mm2 for component in components)
+        total_power = sum(component.power_w for component in components)
+        return OverheadReport(
+            components=components,
+            total_area_mm2=total_area,
+            total_power_w=total_power,
+            area_fraction=total_area / self.config.die_area_mm2,
+            power_fraction=total_power / self.config.tdp_w,
+        )

@@ -1,0 +1,123 @@
+"""Machine description of the modelled GPU.
+
+The defaults describe a Tesla V100 (the paper's simulation target on
+Accel-Sim): 80 SMs, 4 sub-cores per SM, 2 Tensor Cores per sub-core, each
+Tensor Core performing 64 FP16 multiply–accumulates per cycle, 1530 MHz
+boost clock and 900 GB/s of HBM2 bandwidth.  The outer-product Tensor
+Core keeps exactly the same multiplier budget (Section V-A), so the dense
+peak throughput of the modified machine is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Parameters of the simulated GPU.
+
+    Attributes:
+        name: human-readable configuration name.
+        num_sms: number of streaming multiprocessors.
+        subcores_per_sm: sub-cores (warp schedulers) per SM.
+        tensor_cores_per_subcore: Tensor Cores per sub-core.
+        macs_per_tensor_core: FP16 multiply–accumulates per Tensor Core
+            per cycle (64 on Volta).
+        cuda_cores_per_sm: FP32 CUDA cores per SM (used by the cuSparse
+            baseline, which cannot use Tensor Cores).
+        clock_ghz: boost clock in GHz.
+        dram_bandwidth_gbs: DRAM bandwidth in GB/s.
+        l2_bandwidth_gbs: L2 bandwidth in GB/s (bounds on-chip reuse).
+        shared_memory_per_sm_kb: shared memory capacity per SM in KiB.
+        accumulation_buffer_kb: proposed per-sub-core accumulation buffer
+            size in KiB (32x32 FP32 = 4 KiB).
+        accumulation_banks: number of banks in the accumulation buffer.
+        accumulation_ports: read/write ports usable per cycle.
+        warp_size: threads per warp.
+        die_area_mm2: total die area (V100: 815 mm^2).
+        tdp_w: thermal design power in watts.
+    """
+
+    name: str = "Tesla V100"
+    num_sms: int = 80
+    subcores_per_sm: int = 4
+    tensor_cores_per_subcore: int = 2
+    macs_per_tensor_core: int = 64
+    cuda_cores_per_sm: int = 64
+    clock_ghz: float = 1.53
+    dram_bandwidth_gbs: float = 900.0
+    l2_bandwidth_gbs: float = 2700.0
+    shared_memory_per_sm_kb: int = 96
+    accumulation_buffer_kb: int = 4
+    accumulation_banks: int = 32
+    accumulation_ports: int = 16
+    warp_size: int = 32
+    die_area_mm2: float = 815.0
+    tdp_w: float = 250.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "num_sms",
+            "subcores_per_sm",
+            "tensor_cores_per_subcore",
+            "macs_per_tensor_core",
+            "cuda_cores_per_sm",
+            "warp_size",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ConfigError(f"{field_name} must be positive")
+        if self.clock_ghz <= 0 or self.dram_bandwidth_gbs <= 0:
+            raise ConfigError("clock and bandwidth must be positive")
+
+    # ------------------------------------------------------------------ #
+    # Derived throughputs
+    # ------------------------------------------------------------------ #
+    @property
+    def total_tensor_cores(self) -> int:
+        """Total number of Tensor Cores on the device (640 on V100)."""
+        return self.num_sms * self.subcores_per_sm * self.tensor_cores_per_subcore
+
+    @property
+    def tensor_macs_per_cycle(self) -> int:
+        """Peak FP16 MACs per cycle across all Tensor Cores (40960)."""
+        return self.total_tensor_cores * self.macs_per_tensor_core
+
+    @property
+    def tensor_peak_tflops(self) -> float:
+        """Peak FP16 Tensor-Core throughput in TFLOPS (2 flops per MAC)."""
+        return self.tensor_macs_per_cycle * 2 * self.clock_ghz / 1e3
+
+    @property
+    def cuda_fma_per_cycle(self) -> int:
+        """Peak FP32 FMA per cycle on the CUDA cores (5120)."""
+        return self.num_sms * self.cuda_cores_per_sm
+
+    @property
+    def ohmma_slots_per_cycle(self) -> int:
+        """OHMMA.8161 instructions the device can issue per cycle.
+
+        One OHMMA per sub-core per cycle (its two Tensor Cores execute
+        the 8x16x1 product together), i.e. 320 on a V100-class device.
+        """
+        return self.num_sms * self.subcores_per_sm
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """DRAM bytes transferred per core clock cycle."""
+        return self.dram_bandwidth_gbs / self.clock_ghz
+
+    @property
+    def l2_bytes_per_cycle(self) -> float:
+        """L2 bytes transferred per core clock cycle."""
+        return self.l2_bandwidth_gbs / self.clock_ghz
+
+    def cycles_to_us(self, cycles: float) -> float:
+        """Convert a cycle count to microseconds at the configured clock."""
+        return cycles / (self.clock_ghz * 1e3)
+
+
+#: The default V100 configuration used throughout the evaluation.
+V100_CONFIG = GpuConfig()

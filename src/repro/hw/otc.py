@@ -1,0 +1,124 @@
+"""Functional + timing model of the outer-product Tensor Core (OTC).
+
+The modification (Figure 12d/f) replaces every four-element dot product
+with a four-element *outer* product (FEOP): one A element is multiplied
+by four B elements and the four partial results go to four different
+accumulators.  A single OTC therefore computes an 8x8x1 outer product per
+cycle with the same 64 multipliers as the stock Tensor Core; the two OTCs
+of a sub-core execute one OHMMA.8161 (8x16x1) machine instruction
+together, and the binary variant (BOHMMA.32321) computes a 32x32x1 1-bit
+outer product on operand bitmaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.bitops import bitmap_outer
+
+
+@dataclass(frozen=True)
+class OuterProductTensorCore:
+    """Model of one outer-product (FEOP-based) Tensor Core.
+
+    Attributes:
+        tile_m: A-side elements consumed per cycle (8).
+        tile_n: B-side elements consumed per cycle (8).
+        pipeline_stages: depth of the execution pipeline.
+    """
+
+    tile_m: int = 8
+    tile_n: int = 8
+    pipeline_stages: int = 4
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Multiply–accumulate operations per cycle (64 in FP16)."""
+        return self.tile_m * self.tile_n
+
+    def feop(self, a_element: float, b_vector: np.ndarray) -> np.ndarray:
+        """Four-element outer product: one A element times four B elements."""
+        b_vector = np.asarray(b_vector, dtype=np.float64)
+        if b_vector.shape != (4,):
+            raise ShapeError(f"FEOP expects a 4-element B vector, got {b_vector.shape}")
+        return float(a_element) * b_vector
+
+    def execute(self, a_column: np.ndarray, b_row: np.ndarray) -> np.ndarray:
+        """Execute one 8x8x1 outer product.
+
+        Args:
+            a_column: (8,) slice of the condensed A column.
+            b_row: (8,) slice of the condensed B row.
+
+        Returns:
+            The (8 x 8) partial-product block.
+        """
+        a_column = np.asarray(a_column, dtype=np.float64)
+        b_row = np.asarray(b_row, dtype=np.float64)
+        if a_column.shape != (self.tile_m,) or b_row.shape != (self.tile_n,):
+            raise ShapeError(
+                f"OTC expects ({self.tile_m},) and ({self.tile_n},) operands, got "
+                f"{a_column.shape} and {b_row.shape}"
+            )
+        return np.outer(a_column, b_row)
+
+
+@dataclass(frozen=True)
+class OuterProductTensorCorePair:
+    """The two OTCs of one sub-core executing OHMMA / BOHMMA instructions.
+
+    Attributes:
+        ohmma_m: A-side elements of one OHMMA.8161 (8).
+        ohmma_n: B-side elements of one OHMMA.8161 (16).
+        bohmma_dim: side length of the BOHMMA.32321 bitmap outer product.
+    """
+
+    ohmma_m: int = 8
+    ohmma_n: int = 16
+    bohmma_dim: int = 32
+
+    def execute_ohmma(
+        self,
+        a_column: np.ndarray,
+        b_row: np.ndarray,
+        accumulator: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Execute one OHMMA.8161: an 8x16x1 outer product with accumulation."""
+        a_column = np.asarray(a_column, dtype=np.float64)
+        b_row = np.asarray(b_row, dtype=np.float64)
+        if a_column.shape != (self.ohmma_m,) or b_row.shape != (self.ohmma_n,):
+            raise ShapeError(
+                f"OHMMA expects ({self.ohmma_m},) x ({self.ohmma_n},), got "
+                f"{a_column.shape} and {b_row.shape}"
+            )
+        product = np.outer(a_column, b_row)
+        if accumulator is None:
+            return product
+        if accumulator.shape != product.shape:
+            raise ShapeError(
+                f"accumulator shape {accumulator.shape} does not match {product.shape}"
+            )
+        return accumulator + product
+
+    def execute_bohmma(self, a_bits: np.ndarray, b_bits: np.ndarray) -> np.ndarray:
+        """Execute one BOHMMA.32321: a 32x32x1 one-bit outer product."""
+        a_bits = np.asarray(a_bits, dtype=bool)
+        b_bits = np.asarray(b_bits, dtype=bool)
+        if a_bits.shape != (self.bohmma_dim,) or b_bits.shape != (self.bohmma_dim,):
+            raise ShapeError(
+                f"BOHMMA expects two ({self.bohmma_dim},) bit vectors, got "
+                f"{a_bits.shape} and {b_bits.shape}"
+            )
+        return bitmap_outer(a_bits, b_bits)
+
+    def owmma_cycles(self, k_steps: int = 16) -> int:
+        """Cycles for a dense OWMMA over ``k_steps`` reduction steps.
+
+        Each 16x16x1 step needs two OHMMA issues (one per 8-row half) at
+        one instruction per cycle — 32 cycles for the full 16x16x16 tile,
+        matching the stock WMMA latency.
+        """
+        return 2 * k_steps

@@ -1,0 +1,85 @@
+"""Functional + timing model of the stock inner-product Tensor Core.
+
+Each Volta Tensor Core contains 16 four-element dot-product units (FEDP,
+Figure 12c) and completes a 4x4x4 matrix multiplication per cycle through
+a four-stage pipeline.  A sub-core's two Tensor Cores execute one
+HMMA.884 (8x8x4) machine instruction together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.utils.validation import check_2d
+
+
+@dataclass(frozen=True)
+class InnerProductTensorCore:
+    """Model of one inner-product (FEDP-based) Tensor Core.
+
+    Attributes:
+        tile_m: output rows of one per-cycle operation (4).
+        tile_n: output columns of one per-cycle operation (4).
+        tile_k: reduction depth of one per-cycle operation (4).
+        pipeline_stages: depth of the execution pipeline.
+    """
+
+    tile_m: int = 4
+    tile_n: int = 4
+    tile_k: int = 4
+    pipeline_stages: int = 4
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Multiply–accumulate operations per cycle (64 in FP16)."""
+        return self.tile_m * self.tile_n * self.tile_k
+
+    def fedp(self, a_row: np.ndarray, b_col: np.ndarray, c: float = 0.0) -> float:
+        """Four-element dot product: the basic FEDP computation."""
+        a_row = np.asarray(a_row, dtype=np.float64)
+        b_col = np.asarray(b_col, dtype=np.float64)
+        if a_row.shape != (self.tile_k,) or b_col.shape != (self.tile_k,):
+            raise ShapeError(
+                f"FEDP operands must have length {self.tile_k}, got "
+                f"{a_row.shape} and {b_col.shape}"
+            )
+        return float(a_row @ b_col + c)
+
+    def execute(
+        self, a_tile: np.ndarray, b_tile: np.ndarray, c_tile: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Execute one 4x4x4 matrix multiply–accumulate.
+
+        Args:
+            a_tile: (4 x 4) A operand.
+            b_tile: (4 x 4) B operand.
+            c_tile: optional (4 x 4) accumulator input.
+
+        Returns:
+            The (4 x 4) result ``a_tile @ b_tile + c_tile``.
+        """
+        a_tile = check_2d(a_tile, "a_tile")
+        b_tile = check_2d(b_tile, "b_tile")
+        expected = (self.tile_m, self.tile_k)
+        if a_tile.shape != expected or b_tile.shape != (self.tile_k, self.tile_n):
+            raise ShapeError(
+                f"tensor core expects A {expected} and B "
+                f"{(self.tile_k, self.tile_n)}, got {a_tile.shape} and {b_tile.shape}"
+            )
+        if c_tile is None:
+            c_tile = np.zeros((self.tile_m, self.tile_n), dtype=np.float64)
+        out = np.empty((self.tile_m, self.tile_n), dtype=np.float64)
+        for i in range(self.tile_m):
+            for j in range(self.tile_n):
+                out[i, j] = self.fedp(a_tile[i, :], b_tile[:, j], float(c_tile[i, j]))
+        return out
+
+    def cycles_for_macs(self, macs: int) -> int:
+        """Cycles to execute ``macs`` multiply–accumulates (throughput bound)."""
+        if macs < 0:
+            raise ShapeError("macs must be non-negative")
+        full = -(-macs // self.macs_per_cycle)
+        return full + (self.pipeline_stages - 1 if full else 0)

@@ -1,0 +1,105 @@
+"""Warp-level executor: runs ISA instruction streams and reports cycles.
+
+The executor models the paper's issue contract: the sub-core's Tensor
+Core pair accepts one matrix instruction per cycle, POPC and BOHMMA each
+occupy one issue slot, and OHMMA instructions whose guard predicate is
+false are *not issued at all* — that is where the sparse speedup comes
+from (Figure 15).  Merge traffic into the accumulation buffer can be
+replayed through the operand collector to add bank-conflict stalls that
+are not hidden behind compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.accumulation_buffer import AccumulationBuffer
+from repro.isa.instructions import DEFAULT_ISSUE_CYCLES, Instruction, Opcode
+from repro.isa.program import InstructionStream
+
+
+@dataclass
+class WarpExecutionResult:
+    """Cycle and issue statistics of one warp's instruction stream.
+
+    Attributes:
+        issue_cycles: cycles spent issuing instructions.
+        merge_cycles: cycles the accumulation buffer needed to drain the
+            merge traffic (sparse mode only).
+        stall_cycles: merge cycles that could not be hidden behind issue.
+        total_cycles: issue + unhidden stalls.
+        issued: number of instructions issued.
+        skipped: number of predicated-off instructions dropped.
+        by_opcode: issued-instruction histogram.
+    """
+
+    issue_cycles: int = 0
+    merge_cycles: int = 0
+    stall_cycles: int = 0
+    total_cycles: int = 0
+    issued: int = 0
+    skipped: int = 0
+    by_opcode: dict = field(default_factory=dict)
+
+
+class WarpExecutor:
+    """Executes an :class:`InstructionStream` on one sub-core model."""
+
+    def __init__(
+        self,
+        accumulation_buffer: AccumulationBuffer | None = None,
+        issue_cycles: dict | None = None,
+    ) -> None:
+        self.accumulation_buffer = accumulation_buffer or AccumulationBuffer()
+        self.issue_cycles = dict(DEFAULT_ISSUE_CYCLES)
+        if issue_cycles:
+            self.issue_cycles.update(issue_cycles)
+
+    def _is_skipped(self, instruction: Instruction) -> bool:
+        """True when the instruction's guard predicate is false."""
+        payload = instruction.payload
+        return (
+            instruction.opcode is Opcode.OHMMA_8161
+            and isinstance(payload, dict)
+            and not payload.get("enabled", True)
+        )
+
+    def run(
+        self,
+        stream: InstructionStream,
+        merge_access_batches: list[np.ndarray] | None = None,
+        use_operand_collector: bool = True,
+    ) -> WarpExecutionResult:
+        """Execute the stream and return its cycle accounting.
+
+        Args:
+            stream: instruction stream (typically from
+                :func:`repro.isa.wmma.expand_spwmma`).
+            merge_access_batches: optional accumulation-buffer access
+                positions, one batch per executed OHMMA, used to model
+                sparse-mode bank conflicts.
+            use_operand_collector: disable to reproduce the
+                no-collector baseline of Figure 19a.
+        """
+        result = WarpExecutionResult()
+        for instruction in stream:
+            if self._is_skipped(instruction):
+                result.skipped += 1
+                continue
+            cycles = self.issue_cycles.get(instruction.opcode, 1)
+            result.issue_cycles += cycles
+            result.issued += 1
+            result.by_opcode[instruction.opcode] = (
+                result.by_opcode.get(instruction.opcode, 0) + 1
+            )
+        if merge_access_batches:
+            schedule = self.accumulation_buffer.sparse_mode_cycles(
+                merge_access_batches, use_collector=use_operand_collector
+            )
+            result.merge_cycles = schedule.cycles
+            # Merge overlaps with issue; only the excess shows as stalls.
+            result.stall_cycles = max(0, schedule.cycles - result.issue_cycles)
+        result.total_cycles = result.issue_cycles + result.stall_cycles
+        return result

@@ -1,0 +1,181 @@
+"""Macro-op expansions: WMMA, OWMMA and SpWMMA (Figures 13, 15, 16, 17).
+
+The CUDA-visible warp-level matrix operations are compiled down to
+machine-level HMMA/OHMMA instructions.  The three expansions here produce
+the exact instruction streams the paper describes:
+
+* :func:`expand_wmma` — the stock inner-product WMMA (16x16x16) as 16
+  HMMA.884 instructions (4 sets x 4 octet-pair steps, 32 cycles total).
+* :func:`expand_owmma` — the dense outer-product OWMMA (16x16x16) as 32
+  OHMMA.8161 instructions (16 sets of one 16x16x1 outer product, two
+  8x16x1 OHMMAs each), also 32 cycles.
+* :func:`expand_spwmma` — the dual-side sparse SpWMMA over a 32x32xTK
+  warp tile: per 32x32x1 set, one BOHMMA, two POPCs and up to eight
+  predicated OHMMAs; the predicate bits are derived from the operand
+  bitmaps exactly as the hardware would derive them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.condense import quantized_steps
+from repro.core.spgemm_warp import WarpTileConfig
+from repro.errors import ShapeError
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import InstructionStream
+from repro.utils.tiling import ceil_div
+from repro.utils.validation import check_2d
+
+
+def expand_wmma() -> InstructionStream:
+    """Expand one inner-product WMMA (16x16x16) into HMMA.884 instructions.
+
+    Four 8x8 output blocks, each accumulated over four k-sets of 4.
+    """
+    stream = InstructionStream()
+    for block in range(4):
+        for k_set in range(4):
+            stream.append(
+                Instruction(
+                    opcode=Opcode.HMMA_884,
+                    destinations=(f"RD{block}",),
+                    sources=(f"RA{block}.{k_set}", f"RB{block}.{k_set}", f"RD{block}"),
+                )
+            )
+    return stream
+
+
+def expand_owmma() -> InstructionStream:
+    """Expand one dense outer-product OWMMA (16x16x16).
+
+    Sixteen k-sets; every set is a 16x16x1 outer product computed by two
+    OHMMA.8161 instructions (one per 8-row half of the A column).
+    """
+    stream = InstructionStream()
+    for k_set in range(16):
+        for half in range(2):
+            stream.append(
+                Instruction(
+                    opcode=Opcode.OHMMA_8161,
+                    destinations=(f"RD{half}",),
+                    sources=(f"RA{k_set}.{half}", f"RB{k_set}", f"RD{half}"),
+                )
+            )
+    return stream
+
+
+@dataclass(frozen=True)
+class SpWmmaExpansion:
+    """Result of expanding one SpWMMA macro-op.
+
+    Attributes:
+        stream: the machine-level instruction stream (BOHMMA / POPC /
+            predicated OHMMA), with predicate-false OHMMAs included so the
+            stream documents what was skipped.
+        ohmma_enabled: number of OHMMA instructions whose predicate is
+            true (these execute).
+        ohmma_skipped: number of OHMMA instructions predicated off.
+        sets_skipped: number of 32x32x1 sets skipped entirely because one
+            operand vector was empty.
+    """
+
+    stream: InstructionStream
+    ohmma_enabled: int
+    ohmma_skipped: int
+    sets_skipped: int
+
+
+def expand_spwmma(
+    a_tile_mask: np.ndarray,
+    b_tile_mask: np.ndarray,
+    config: WarpTileConfig | None = None,
+) -> SpWmmaExpansion:
+    """Expand a SpWMMA over one warp tile given the operand bitmaps.
+
+    Args:
+        a_tile_mask: boolean (TM x TK) non-zero mask of the A warp tile.
+        b_tile_mask: boolean (TK x TN) non-zero mask of the B warp tile.
+        config: warp tile geometry (defaults to the paper's 32x32x16).
+
+    Returns:
+        The expanded instruction stream and its skip statistics.  The
+        enabled OHMMA count equals what
+        :func:`repro.core.spgemm_warp.warp_spgemm` reports for the same
+        masks, which is asserted in the test suite.
+    """
+    config = config or WarpTileConfig()
+    a_tile_mask = check_2d(np.asarray(a_tile_mask, dtype=bool), "a_tile_mask")
+    b_tile_mask = check_2d(np.asarray(b_tile_mask, dtype=bool), "b_tile_mask")
+    if a_tile_mask.shape[1] != b_tile_mask.shape[0]:
+        raise ShapeError(
+            f"reduction dims differ: A mask {a_tile_mask.shape}, "
+            f"B mask {b_tile_mask.shape}"
+        )
+    a_groups_max = ceil_div(config.tm, config.ohmma_m)
+    b_groups_max = ceil_div(config.tn, config.ohmma_n)
+
+    stream = InstructionStream()
+    enabled = 0
+    skipped = 0
+    sets_skipped = 0
+    for k in range(a_tile_mask.shape[1]):
+        a_bits = a_tile_mask[:, k]
+        b_bits = b_tile_mask[k, :]
+        nnz_a = int(a_bits.sum())
+        nnz_b = int(b_bits.sum())
+        stream.append(
+            Instruction(
+                opcode=Opcode.POPC,
+                destinations=("RPA",),
+                sources=(f"RAb{k}",),
+                payload=nnz_a,
+            )
+        )
+        stream.append(
+            Instruction(
+                opcode=Opcode.POPC,
+                destinations=("RPB",),
+                sources=(f"RBb{k}",),
+                payload=nnz_b,
+            )
+        )
+        if nnz_a == 0 or nnz_b == 0:
+            sets_skipped += 1
+            skipped += config.ohmma_per_set
+            continue
+        stream.append(
+            Instruction(
+                opcode=Opcode.BOHMMA_32321,
+                destinations=("RDb",),
+                sources=(f"RAb{k}", f"RBb{k}"),
+            )
+        )
+        a_groups = quantized_steps(nnz_a, config.ohmma_m)
+        b_groups = quantized_steps(nnz_b, config.ohmma_n)
+        slot = 0
+        for ga in range(a_groups_max):
+            for gb in range(b_groups_max):
+                active = ga < a_groups and gb < b_groups
+                stream.append(
+                    Instruction(
+                        opcode=Opcode.OHMMA_8161,
+                        destinations=(f"RD{slot}",),
+                        sources=(f"RAv{k}.{ga}", f"RBv{k}.{gb}", f"RD{slot}"),
+                        predicate=slot,
+                        payload={"enabled": active},
+                    )
+                )
+                if active:
+                    enabled += 1
+                else:
+                    skipped += 1
+                slot += 1
+    return SpWmmaExpansion(
+        stream=stream,
+        ohmma_enabled=enabled,
+        ohmma_skipped=skipped,
+        sets_skipped=sets_skipped,
+    )

@@ -1,0 +1,35 @@
+"""Common result type of all kernel cost models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.hw.gpu import KernelTiming
+
+
+@dataclass(frozen=True)
+class KernelEstimate:
+    """Latency estimate of one kernel (or kernel pipeline) invocation.
+
+    Attributes:
+        method: human-readable method name (e.g. ``"CUTLASS"`` or
+            ``"Dual Sparse Implicit"``).
+        timing: roofline latency breakdown.
+        details: method-specific metadata (instruction counts, traffic,
+            exploited sparsity, ...), kept as plain values so experiment
+            reports can serialise them.
+    """
+
+    method: str
+    timing: KernelTiming
+    details: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def time_us(self) -> float:
+        """Modelled latency in microseconds."""
+        return self.timing.time_us
+
+    def speedup_over(self, other: "KernelEstimate") -> float:
+        """How much faster this kernel is than ``other`` (>1 means faster)."""
+        return other.time_us / self.time_us

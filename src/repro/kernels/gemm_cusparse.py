@@ -1,0 +1,96 @@
+"""cuSparse CSR SpGEMM baseline model.
+
+cuSparse's general sparse-sparse multiplication runs on the CUDA cores
+with CSR operands.  Its latency is dominated by format handling and by
+the per-scalar-product cost of the row-merging algorithm (hash or sorted
+merge), both of which are far from Tensor-Core rates — the paper shows it
+beats the dense CUTLASS baseline only above ~95% sparsity even when the
+other operand is already 99% sparse (Figure 21).
+
+The model is an empirical fit: a fixed per-call overhead proportional to
+the output size plus a calibrated cost per scalar partial product, with a
+DRAM roofline for the CSR operands.  Calibration anchors are documented
+in :mod:`repro.kernels.calibration`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.config import GpuConfig
+from repro.hw.gpu import GpuTimingModel
+from repro.hw.memory import TrafficBreakdown
+from repro.kernels import calibration
+from repro.kernels.base import KernelEstimate
+from repro.utils.validation import check_positive, check_probability
+
+
+class CusparseGemm:
+    """cuSparse-like CSR x CSR sparse matrix multiplication."""
+
+    method_name = "cuSparse"
+
+    def __init__(
+        self,
+        config: GpuConfig | None = None,
+        element_bytes: int = 2,
+        index_bytes: int = 4,
+    ) -> None:
+        self.timing_model = GpuTimingModel(config)
+        self.element_bytes = element_bytes
+        self.index_bytes = index_bytes
+
+    def estimate_from_sparsity(
+        self, m: int, n: int, k: int, a_sparsity: float, b_sparsity: float
+    ) -> KernelEstimate:
+        """Latency estimate from matrix shape and operand sparsities."""
+        check_positive(m, "m")
+        check_positive(n, "n")
+        check_positive(k, "k")
+        check_probability(a_sparsity, "a_sparsity")
+        check_probability(b_sparsity, "b_sparsity")
+        a_density = 1.0 - a_sparsity
+        b_density = 1.0 - b_sparsity
+        nnz_a = m * k * a_density
+        nnz_b = k * n * b_density
+        # Expected scalar partial products of the CSR row-merge algorithm.
+        products = m * k * n * a_density * b_density
+
+        overhead_us = calibration.CUSPARSE_BASE_OVERHEAD_US_AT_4096 * (
+            (m * n) / float(4096 * 4096)
+        )
+        product_us = products * calibration.CUSPARSE_NS_PER_PRODUCT / 1e3
+        clock_cycles_per_us = self.timing_model.config.clock_ghz * 1e3
+        compute_cycles = (overhead_us + product_us) * clock_cycles_per_us
+
+        csr_entry_bytes = self.element_bytes + self.index_bytes
+        output_density = min(1.0, k * a_density * b_density)
+        traffic = TrafficBreakdown(
+            a_bytes=nnz_a * csr_entry_bytes + (m + 1) * self.index_bytes,
+            b_bytes=nnz_b * csr_entry_bytes + (k + 1) * self.index_bytes,
+            output_bytes=m * n * output_density * csr_entry_bytes,
+        )
+        timing = self.timing_model.time_kernel(
+            compute_cycles, traffic, calibration.KERNEL_LAUNCH_OVERHEAD_CYCLES
+        )
+        return KernelEstimate(
+            method=self.method_name,
+            timing=timing,
+            details={
+                "nnz_a": nnz_a,
+                "nnz_b": nnz_b,
+                "scalar_products": products,
+                "overhead_us": overhead_us,
+                "traffic_bytes": traffic.total_bytes,
+            },
+        )
+
+    def estimate(self, a: np.ndarray, b: np.ndarray) -> KernelEstimate:
+        """Latency estimate from the actual operand matrices."""
+        a = np.asarray(a)
+        b = np.asarray(b)
+        m, k = a.shape
+        n = b.shape[1]
+        a_sparsity = 1.0 - np.count_nonzero(a) / a.size
+        b_sparsity = 1.0 - np.count_nonzero(b) / b.size
+        return self.estimate_from_sparsity(m, n, k, a_sparsity, b_sparsity)

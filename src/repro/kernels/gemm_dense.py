@@ -1,0 +1,67 @@
+"""CUTLASS-like dense Tensor-Core GEMM model (the dense baseline).
+
+CUTLASS tiles the output into thread-block tiles, streams both operands
+through shared memory and sustains a large fraction of the Tensor-Core
+peak on big GEMMs.  The model is a roofline: Tensor-Core MAC throughput
+at a calibrated efficiency versus one DRAM pass over each operand and the
+output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.config import GpuConfig
+from repro.hw.gpu import GpuTimingModel
+from repro.hw.memory import TrafficBreakdown
+from repro.kernels import calibration
+from repro.kernels.base import KernelEstimate
+from repro.utils.validation import check_positive
+
+
+class CutlassGemm:
+    """Dense GEMM baseline (CUTLASS / cuBLAS class performance)."""
+
+    method_name = "CUTLASS"
+
+    def __init__(
+        self,
+        config: GpuConfig | None = None,
+        efficiency: float = calibration.TENSOR_CORE_EFFICIENCY,
+        element_bytes: int = 2,
+    ) -> None:
+        self.timing_model = GpuTimingModel(config)
+        self.efficiency = efficiency
+        self.element_bytes = element_bytes
+
+    def estimate_from_shape(self, m: int, n: int, k: int) -> KernelEstimate:
+        """Latency estimate for a dense M x N x K GEMM."""
+        check_positive(m, "m")
+        check_positive(n, "n")
+        check_positive(k, "k")
+        compute = self.timing_model.dense_tensor_core_cycles(m, n, k, self.efficiency)
+        traffic = TrafficBreakdown(
+            a_bytes=m * k * self.element_bytes,
+            b_bytes=k * n * self.element_bytes,
+            output_bytes=m * n * self.element_bytes,
+        )
+        timing = self.timing_model.time_kernel(
+            compute, traffic, calibration.KERNEL_LAUNCH_OVERHEAD_CYCLES
+        )
+        return KernelEstimate(
+            method=self.method_name,
+            timing=timing,
+            details={
+                "m": m,
+                "n": n,
+                "k": k,
+                "macs": m * n * k,
+                "traffic_bytes": traffic.total_bytes,
+            },
+        )
+
+    def estimate(self, a: np.ndarray, b: np.ndarray) -> KernelEstimate:
+        """Latency estimate ignoring sparsity (the dense baseline)."""
+        m, k = np.asarray(a).shape
+        n = np.asarray(b).shape[1]
+        return self.estimate_from_shape(m, n, k)

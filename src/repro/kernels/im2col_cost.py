@@ -1,0 +1,147 @@
+"""Cost model of the three im2col variants (Table III).
+
+The paper implements dense, CSR and bitmap im2col in PyTorch ATen and
+reports execution time normalised to the dense variant for a ResNet-18
+layer at feature-map sparsities from 0% to 99.9%.  The dominant cost
+difference is *how each non-zero is located*:
+
+* dense im2col copies every element with coalesced reads and writes;
+* CSR im2col needs two additional data-dependent global reads per
+  non-zero (row pointer, then column index) before the value can be
+  fetched, which is why it is two orders of magnitude slower at low
+  sparsity;
+* bitmap im2col replaces those global lookups with register-level mask /
+  shift / popcount operations plus a local gather from the condensed
+  value array.
+
+The weights of each operation class are documented in
+:mod:`repro.kernels.calibration`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.im2col_bitmap import BitmapIm2colStats, count_bitmap_im2col_ops
+from repro.core.im2col_csr import CsrIm2colStats, count_csr_im2col_ops
+from repro.core.im2col_dense import Im2colStats, lowered_shape
+from repro.hw.config import GpuConfig, V100_CONFIG
+from repro.kernels import calibration
+from repro.kernels.layer_spec import ConvLayerSpec
+from repro.sparsity.distributions import uniform_mask
+from repro.utils.validation import check_probability
+
+
+class Im2colCostModel:
+    """Maps im2col operation counts to abstract cost units and cycles."""
+
+    def __init__(self, config: GpuConfig | None = None) -> None:
+        self.config = config or V100_CONFIG
+
+    # ------------------------------------------------------------------ #
+    # Per-variant cost in abstract units
+    # ------------------------------------------------------------------ #
+    def dense_cost(self, stats: Im2colStats) -> float:
+        """Cost of the dense im2col: coalesced element reads and writes."""
+        return calibration.IM2COL_SEQ_ACCESS_COST * (
+            stats.element_reads + stats.element_writes
+        )
+
+    def csr_cost(self, stats: CsrIm2colStats) -> float:
+        """Cost of the CSR im2col.
+
+        Every fetched non-zero pays two data-dependent global reads on
+        top of the value read; the lowered output is still written
+        densely (as in the ATen reference implementation), and row
+        pointer fetches are data-dependent as well.
+        """
+        per_value = (
+            2.0 * calibration.IM2COL_GLOBAL_RANDOM_READ_COST
+            + calibration.IM2COL_SEQ_ACCESS_COST
+        )
+        return (
+            stats.element_writes * calibration.IM2COL_OUTPUT_MATERIALIZE_COST
+            + stats.indptr_reads * calibration.IM2COL_GLOBAL_RANDOM_READ_COST
+            + stats.value_reads * per_value
+        )
+
+    def bitmap_cost(self, stats: BitmapIm2colStats) -> float:
+        """Cost of the bitmap im2col.
+
+        Non-zeros are located with register bit operations; each value
+        still needs a local gather from the condensed array and a gather
+        of its output slot, both served from on-chip storage.
+        """
+        per_value = (
+            2.0 * calibration.IM2COL_LOCAL_GATHER_COST
+            + calibration.IM2COL_SEQ_ACCESS_COST
+        )
+        return (
+            stats.bitmap_bits_written * calibration.IM2COL_OUTPUT_MATERIALIZE_COST
+            + stats.word_reads * calibration.IM2COL_SEQ_ACCESS_COST
+            + stats.register_ops * calibration.IM2COL_BIT_OP_COST
+            + stats.value_reads * per_value
+        )
+
+    # ------------------------------------------------------------------ #
+    # Conversion to decode cycles (for the implicit-conv kernels)
+    # ------------------------------------------------------------------ #
+    def bitmap_decode_cycles(self, stats: BitmapIm2colStats) -> float:
+        """Cycles the bitmap address-generation stream occupies.
+
+        Only the register-level bit operations count: the value gathers
+        are the GEMM's own operand loads.  The stream runs on the CUDA
+        cores concurrently with the Tensor-Core GEMM.
+        """
+        ops_per_cycle = (
+            self.config.cuda_fma_per_cycle * calibration.CUDA_CORE_EFFICIENCY
+        )
+        return stats.register_ops / ops_per_cycle
+
+
+@dataclass(frozen=True)
+class Im2colComparison:
+    """One row of Table III: normalised im2col time of the three variants."""
+
+    sparsity: float
+    dense_normalized: float
+    csr_normalized: float
+    bitmap_normalized: float
+
+
+def compare_im2col_methods(
+    spec: ConvLayerSpec,
+    sparsity: float,
+    rng: np.random.Generator,
+    cost_model: Im2colCostModel | None = None,
+) -> Im2colComparison:
+    """Evaluate the three im2col variants on one layer at one sparsity.
+
+    A synthetic feature-map mask with the requested sparsity is drawn and
+    the vectorised operation counters of each variant are costed; results
+    are normalised to the dense variant, exactly like Table III.
+    """
+    check_probability(sparsity, "sparsity")
+    cost_model = cost_model or Im2colCostModel()
+    mask = uniform_mask(
+        (spec.in_channels * spec.height, spec.width), 1.0 - sparsity, rng
+    ).reshape(spec.in_channels, spec.height, spec.width)
+
+    rows, cols = lowered_shape(
+        spec.in_channels, spec.height, spec.width, spec.kernel, spec.stride, spec.padding
+    )
+    dense_stats = Im2colStats(
+        element_reads=rows * cols, element_writes=rows * cols, lowered_shape=(rows, cols)
+    )
+    csr_stats = count_csr_im2col_ops(mask, spec.kernel, spec.stride, spec.padding)
+    bitmap_stats = count_bitmap_im2col_ops(mask, spec.kernel, spec.stride, spec.padding)
+
+    dense_cost = cost_model.dense_cost(dense_stats)
+    return Im2colComparison(
+        sparsity=sparsity,
+        dense_normalized=1.0,
+        csr_normalized=cost_model.csr_cost(csr_stats) / dense_cost,
+        bitmap_normalized=cost_model.bitmap_cost(bitmap_stats) / dense_cost,
+    )

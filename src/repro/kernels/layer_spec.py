@@ -1,0 +1,128 @@
+"""Workload descriptions shared by the kernel models and the DNN substrate.
+
+A convolution layer is described by its tensor shapes plus the weight and
+activation sparsity the pruned model exhibits; a GEMM layer (fully
+connected, attention projection, LSTM gate) by its matrix dimensions and
+the two operand sparsities.  The experiment drivers build these specs
+from the model databases in :mod:`repro.nn.models` and hand them to the
+kernel cost models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reference import conv_output_shape
+from repro.errors import ConfigError
+from repro.utils.validation import check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """One convolution layer of a CNN.
+
+    Attributes:
+        name: layer name as used in the paper's Figure 22 x-axis.
+        in_channels: input channels C.
+        out_channels: output channels N.
+        height / width: input spatial size (H, W).
+        kernel: square kernel size K.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        weight_sparsity: zero fraction of the pruned weights.
+        activation_sparsity: zero fraction of the input feature map.
+        batch: number of images processed per kernel launch (datacenter
+            inference batches requests; the lowered GEMM's M dimension
+            scales with it).
+    """
+
+    name: str
+    in_channels: int
+    out_channels: int
+    height: int
+    width: int
+    kernel: int
+    stride: int = 1
+    padding: int = 0
+    weight_sparsity: float = 0.0
+    activation_sparsity: float = 0.0
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        for field_name in ("in_channels", "out_channels", "height", "width", "kernel"):
+            check_positive(getattr(self, field_name), field_name)
+        if self.stride <= 0:
+            raise ConfigError("stride must be positive")
+        check_positive(self.batch, "batch")
+        check_probability(self.weight_sparsity, "weight_sparsity")
+        check_probability(self.activation_sparsity, "activation_sparsity")
+
+    @property
+    def output_shape(self) -> tuple[int, int]:
+        """Spatial output shape (OH, OW)."""
+        return conv_output_shape(
+            self.height, self.width, self.kernel, self.stride, self.padding
+        )
+
+    @property
+    def gemm_m(self) -> int:
+        """Rows of the lowered GEMM (batch * OH * OW)."""
+        out_h, out_w = self.output_shape
+        return self.batch * out_h * out_w
+
+    @property
+    def gemm_k(self) -> int:
+        """Reduction dimension of the lowered GEMM (K * K * C)."""
+        return self.kernel * self.kernel * self.in_channels
+
+    @property
+    def gemm_n(self) -> int:
+        """Columns of the lowered GEMM (output channels)."""
+        return self.out_channels
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply–accumulate count of the layer."""
+        return self.gemm_m * self.gemm_k * self.gemm_n
+
+    @property
+    def feature_map_elements(self) -> int:
+        """Number of input feature-map elements (across the batch)."""
+        return self.batch * self.in_channels * self.height * self.width
+
+    @property
+    def weight_elements(self) -> int:
+        """Number of weight elements."""
+        return self.out_channels * self.in_channels * self.kernel * self.kernel
+
+
+@dataclass(frozen=True)
+class GemmLayerSpec:
+    """One GEMM layer of an NLP / RNN model.
+
+    Attributes:
+        name: layer name as used in the paper's Figure 22 x-axis.
+        m: rows of the activation matrix (batch x sequence).
+        k: reduction dimension.
+        n: output dimension.
+        weight_sparsity: zero fraction of the pruned weight matrix (B).
+        activation_sparsity: zero fraction of the activation matrix (A).
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    weight_sparsity: float = 0.0
+    activation_sparsity: float = 0.0
+
+    def __post_init__(self) -> None:
+        for field_name in ("m", "k", "n"):
+            check_positive(getattr(self, field_name), field_name)
+        check_probability(self.weight_sparsity, "weight_sparsity")
+        check_probability(self.activation_sparsity, "activation_sparsity")
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply–accumulate count of the layer."""
+        return self.m * self.k * self.n

@@ -1,0 +1,27 @@
+"""DNN substrate: the models, layers and inference driver of Table II.
+
+The evaluation needs five sparse DNN models (VGG-16, ResNet-18,
+Mask R-CNN, a BERT-base encoder and a 2+4-layer LSTM RNN).  Rather than
+loading framework checkpoints — unavailable offline — the subpackage
+records each model's layer shapes and the per-layer weight / activation
+sparsity the paper's pruning setup produces, and provides functional
+layer implementations for the small-scale numeric examples.
+"""
+
+from repro.nn.layers import Conv2dLayer, LinearLayer, LstmLayer
+from repro.nn.activations import relu, measure_activation_sparsity
+from repro.nn.inference import ModelEvaluator, LayerResult, ModelResult
+from repro.nn.models import MODEL_REGISTRY, get_model
+
+__all__ = [
+    "Conv2dLayer",
+    "LinearLayer",
+    "LstmLayer",
+    "relu",
+    "measure_activation_sparsity",
+    "ModelEvaluator",
+    "LayerResult",
+    "ModelResult",
+    "MODEL_REGISTRY",
+    "get_model",
+]

@@ -1,0 +1,154 @@
+"""Functional layer implementations and their workload descriptions.
+
+Each layer couples (a) a shape description convertible to the kernel
+cost-model specs and (b) a NumPy forward pass used by the runnable
+examples and the end-to-end numeric tests.  The forward passes route
+through the library's own sparse kernels so an example like
+``examples/sparse_cnn_inference.py`` exercises the real SpCONV pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.reference import conv_output_shape
+from repro.core.spconv import sparse_conv2d
+from repro.core.spgemm_device import device_spgemm
+from repro.errors import ShapeError
+from repro.kernels.layer_spec import ConvLayerSpec, GemmLayerSpec
+from repro.nn.activations import measure_activation_sparsity, relu
+
+
+@dataclass
+class Conv2dLayer:
+    """A 2-D convolution layer with optional ReLU.
+
+    Attributes:
+        name: layer name.
+        weights: (N, C, K, K) weight tensor (already pruned if desired).
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        apply_relu: whether a ReLU follows the convolution.
+    """
+
+    name: str
+    weights: np.ndarray
+    stride: int = 1
+    padding: int = 0
+    apply_relu: bool = True
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights)
+        if self.weights.ndim != 4:
+            raise ShapeError(f"weights must be (N, C, K, K), got {self.weights.shape}")
+
+    def forward(self, feature_map: np.ndarray) -> np.ndarray:
+        """Run the layer through the dual-side sparse convolution pipeline."""
+        result = sparse_conv2d(
+            feature_map, self.weights, stride=self.stride, padding=self.padding
+        )
+        output = result.output
+        return relu(output) if self.apply_relu else output
+
+    def to_spec(self, height: int, width: int, activation_sparsity: float) -> ConvLayerSpec:
+        """Describe this layer as a :class:`ConvLayerSpec` for the cost models."""
+        n_filters, channels, kernel, _ = self.weights.shape
+        weight_sparsity = 1.0 - np.count_nonzero(self.weights) / self.weights.size
+        return ConvLayerSpec(
+            name=self.name,
+            in_channels=channels,
+            out_channels=n_filters,
+            height=height,
+            width=width,
+            kernel=kernel,
+            stride=self.stride,
+            padding=self.padding,
+            weight_sparsity=float(weight_sparsity),
+            activation_sparsity=activation_sparsity,
+        )
+
+
+@dataclass
+class LinearLayer:
+    """A fully connected layer with optional ReLU.
+
+    Attributes:
+        name: layer name.
+        weights: (in_features, out_features) weight matrix.
+        apply_relu: whether a ReLU follows the matrix multiplication.
+    """
+
+    name: str
+    weights: np.ndarray
+    apply_relu: bool = True
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights)
+        if self.weights.ndim != 2:
+            raise ShapeError(f"weights must be 2-D, got {self.weights.shape}")
+
+    def forward(self, activations: np.ndarray) -> np.ndarray:
+        """Run the layer through the dual-side SpGEMM."""
+        activations = np.asarray(activations)
+        if activations.shape[1] != self.weights.shape[0]:
+            raise ShapeError(
+                f"activation features {activations.shape[1]} do not match weight rows "
+                f"{self.weights.shape[0]}"
+            )
+        result = device_spgemm(activations, self.weights)
+        output = result.output
+        return relu(output) if self.apply_relu else output
+
+    def to_spec(self, batch_rows: int, activation_sparsity: float) -> GemmLayerSpec:
+        """Describe this layer as a :class:`GemmLayerSpec` for the cost models."""
+        weight_sparsity = 1.0 - np.count_nonzero(self.weights) / self.weights.size
+        return GemmLayerSpec(
+            name=self.name,
+            m=batch_rows,
+            k=self.weights.shape[0],
+            n=self.weights.shape[1],
+            weight_sparsity=float(weight_sparsity),
+            activation_sparsity=activation_sparsity,
+        )
+
+
+@dataclass
+class LstmLayer:
+    """One LSTM layer modelled as its gate GEMMs.
+
+    An LSTM step computes four gates from the concatenated input and
+    hidden state, i.e. a (batch x (input+hidden)) @ ((input+hidden) x
+    4*hidden) matrix multiplication per time step.  For workload purposes
+    only this GEMM matters; the element-wise gate math is negligible.
+
+    Attributes:
+        name: layer name.
+        input_size: input feature dimension.
+        hidden_size: hidden state dimension.
+        weight_sparsity: zero fraction of the pruned gate weights.
+    """
+
+    name: str
+    input_size: int
+    hidden_size: int
+    weight_sparsity: float = 0.0
+
+    def gate_gemm_spec(
+        self, batch: int, seq_len: int, activation_sparsity: float
+    ) -> GemmLayerSpec:
+        """The per-sequence gate GEMM of this layer as a cost-model spec."""
+        return GemmLayerSpec(
+            name=self.name,
+            m=batch * seq_len,
+            k=self.input_size + self.hidden_size,
+            n=4 * self.hidden_size,
+            weight_sparsity=self.weight_sparsity,
+            activation_sparsity=activation_sparsity,
+        )
+
+
+def feature_map_sparsity_after(layer_output: np.ndarray) -> float:
+    """Convenience wrapper: activation sparsity of a layer's output."""
+    return measure_activation_sparsity(layer_output)

@@ -1,0 +1,104 @@
+"""Model database for the five DNNs of Table II.
+
+Each model module records the layer shapes of the network and the
+per-layer weight / activation sparsity produced by the paper's pruning
+setup (AGP via Distiller for the CNNs and the RNN, block movement pruning
+for BERT).  The exact per-layer ratios in the paper are only available
+graphically (Figure 22's annotations), so the values here are stated
+assumptions chosen inside the ranges the paper and its cited pruning
+works report; they are listed layer by layer in each module and summarised
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.kernels.layer_spec import ConvLayerSpec, GemmLayerSpec
+
+
+@dataclass(frozen=True)
+class ModelDefinition:
+    """One evaluated DNN model.
+
+    Attributes:
+        name: model name as used in Table II / Figure 22.
+        kind: ``"cnn"`` (convolution layers, five methods compared) or
+            ``"gemm"`` (GEMM layers, three methods compared).
+        pruning_scheme: pruning method of Table II.
+        dataset: evaluation dataset of Table II.
+        accuracy: reported accuracy of the pruned model (metadata only).
+        conv_layers: representative convolution layers (CNN models).
+        gemm_layers: representative GEMM layers (BERT / RNN models).
+        weight_pattern: zero-pattern family of the pruned weights —
+            ``"uniform"`` for unstructured magnitude pruning,
+            ``"blocked"`` for block movement pruning (clustered zeros).
+    """
+
+    name: str
+    kind: str
+    pruning_scheme: str
+    dataset: str
+    accuracy: str
+    conv_layers: tuple[ConvLayerSpec, ...] = field(default_factory=tuple)
+    gemm_layers: tuple[GemmLayerSpec, ...] = field(default_factory=tuple)
+    weight_pattern: str = "uniform"
+
+    @property
+    def layers(self):
+        """The model's representative layers regardless of kind."""
+        return self.conv_layers if self.kind == "cnn" else self.gemm_layers
+
+    @property
+    def mean_weight_sparsity(self) -> float:
+        """Unweighted mean weight sparsity over the representative layers."""
+        layers = self.layers
+        return sum(layer.weight_sparsity for layer in layers) / len(layers)
+
+    @property
+    def mean_activation_sparsity(self) -> float:
+        """Unweighted mean activation sparsity over the representative layers."""
+        layers = self.layers
+        return sum(layer.activation_sparsity for layer in layers) / len(layers)
+
+
+from repro.nn.models.vgg16 import vgg16_model
+from repro.nn.models.resnet18 import resnet18_model
+from repro.nn.models.mask_rcnn import mask_rcnn_model
+from repro.nn.models.bert import bert_base_encoder_model
+from repro.nn.models.rnn import rnn_language_model
+
+#: All evaluated models, keyed by their Figure 22 names.
+MODEL_REGISTRY = {
+    "VGG-16": vgg16_model,
+    "ResNet-18": resnet18_model,
+    "Mask R-CNN": mask_rcnn_model,
+    "BERT-base Encoder": bert_base_encoder_model,
+    "RNN": rnn_language_model,
+}
+
+
+def get_model(name: str) -> ModelDefinition:
+    """Build the named model definition.
+
+    Raises :class:`repro.errors.ConfigError` for unknown names; valid
+    names are the keys of :data:`MODEL_REGISTRY`.
+    """
+    if name not in MODEL_REGISTRY:
+        raise ConfigError(
+            f"unknown model {name!r}; available: {sorted(MODEL_REGISTRY)}"
+        )
+    return MODEL_REGISTRY[name]()
+
+
+__all__ = [
+    "ModelDefinition",
+    "MODEL_REGISTRY",
+    "get_model",
+    "vgg16_model",
+    "resnet18_model",
+    "mask_rcnn_model",
+    "bert_base_encoder_model",
+    "rnn_language_model",
+]

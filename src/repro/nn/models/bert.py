@@ -1,0 +1,60 @@
+"""BERT-base encoder (SQuAD) with block movement pruning — layer database.
+
+One encoder block contains four weight matrices: the fused QKV projection
+(modelled as three 768x768 GEMMs), the attention output projection
+(768x768) and the two feed-forward matrices (768x3072 and 3072x768).  The
+sequence length follows the SQuAD fine-tuning setup (384 tokens).  Block
+movement pruning reaches >90% weight sparsity on the encoder while the
+GELU activations stay dense, which is why the paper evaluates BERT with
+the three GEMM methods only (no activation sparsity to exploit).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.layer_spec import GemmLayerSpec
+
+#: SQuAD fine-tuning sequence length.
+SEQUENCE_LENGTH = 384
+#: Hidden size of BERT-base.
+HIDDEN = 768
+#: Feed-forward inner size of BERT-base.
+FFN = 3072
+
+
+def bert_encoder_layers(sequence_length: int = SEQUENCE_LENGTH) -> tuple[GemmLayerSpec, ...]:
+    """Representative GEMM layers of one movement-pruned encoder block."""
+    # name, K, N, weight sparsity (movement pruning), activation sparsity
+    table = [
+        ("attn-query", HIDDEN, HIDDEN, 0.94, 0.0),
+        ("attn-key", HIDDEN, HIDDEN, 0.94, 0.0),
+        ("attn-value", HIDDEN, HIDDEN, 0.92, 0.0),
+        ("attn-output", HIDDEN, HIDDEN, 0.92, 0.0),
+        ("ffn-intermediate", HIDDEN, FFN, 0.95, 0.0),
+        ("ffn-output", FFN, HIDDEN, 0.95, 0.0),
+    ]
+    return tuple(
+        GemmLayerSpec(
+            name=name,
+            m=sequence_length,
+            k=k,
+            n=n,
+            weight_sparsity=w_sp,
+            activation_sparsity=a_sp,
+        )
+        for name, k, n, w_sp, a_sp in table
+    )
+
+
+def bert_base_encoder_model():
+    """The BERT-base encoder entry of Table II."""
+    from repro.nn.models import ModelDefinition
+
+    return ModelDefinition(
+        name="BERT-base Encoder",
+        kind="gemm",
+        pruning_scheme="Movement Pruning (block)",
+        dataset="SQuAD",
+        accuracy="83.3 (F1)",
+        gemm_layers=bert_encoder_layers(),
+        weight_pattern="blocked",
+    )

@@ -1,0 +1,60 @@
+"""Mask R-CNN (COCO) pruned with AGP — layer database.
+
+Mask R-CNN uses a ResNet-50 + FPN backbone over high-resolution COCO
+inputs (the short side resized to 800 pixels).  The representative layers
+cover the backbone's four stages at their FPN working resolutions plus
+the RPN / FPN 3x3 convolutions that dominate the detection head, which is
+where the paper's Figure 22 selection sits.  Weight sparsity targets are
+AGP values for detection backbones (65-85%); activation sparsity follows
+the post-ReLU ranges of high-resolution feature pyramids (50-70%).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.layer_spec import ConvLayerSpec
+
+
+def mask_rcnn_layers() -> tuple[ConvLayerSpec, ...]:
+    """Representative convolution layers of the pruned Mask R-CNN."""
+    # name, C_in, C_out, H, W, kernel, stride, weight sp., activation sp.
+    table = [
+        ("res2-conv", 64, 64, 200, 304, 3, 1, 0.60, 0.50),
+        ("res3-conv", 128, 128, 100, 152, 3, 1, 0.70, 0.55),
+        ("res4-conv", 256, 256, 50, 76, 3, 1, 0.75, 0.60),
+        ("res5-conv", 512, 512, 25, 38, 3, 1, 0.80, 0.65),
+        ("fpn-p2", 256, 256, 200, 304, 3, 1, 0.70, 0.60),
+        ("fpn-p3", 256, 256, 100, 152, 3, 1, 0.75, 0.60),
+        ("fpn-p4", 256, 256, 50, 76, 3, 1, 0.80, 0.65),
+        ("rpn-head", 256, 256, 100, 152, 3, 1, 0.75, 0.65),
+        ("mask-head", 256, 256, 28, 28, 3, 1, 0.85, 0.70),
+    ]
+    return tuple(
+        ConvLayerSpec(
+            name=name,
+            in_channels=c_in,
+            out_channels=c_out,
+            height=h,
+            width=w,
+            kernel=kernel,
+            stride=stride,
+            padding=kernel // 2,
+            weight_sparsity=w_sp,
+            activation_sparsity=a_sp,
+        )
+        for name, c_in, c_out, h, w, kernel, stride, w_sp, a_sp in table
+    )
+
+
+def mask_rcnn_model():
+    """The Mask R-CNN entry of Table II."""
+    from repro.nn.models import ModelDefinition
+
+    return ModelDefinition(
+        name="Mask R-CNN",
+        kind="cnn",
+        pruning_scheme="AGP",
+        dataset="COCO",
+        accuracy="35.2 (AP)",
+        conv_layers=mask_rcnn_layers(),
+        weight_pattern="uniform",
+    )

@@ -1,0 +1,70 @@
+"""ResNet-18 (ImageNet) pruned with AGP — layer database.
+
+Standard ResNet-18 basic-block shapes at 224x224 input.  The layer naming
+follows the paper's Figure 22 style (``<stage>-<conv>``), including the
+small late-stage layers (e.g. ``5-4``) for which the paper observes only
+modest speedups because the work is dominated by data movement.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.layer_spec import ConvLayerSpec
+
+
+#: Datacenter-inference batch size used for the ImageNet CNNs.
+BATCH = 16
+
+
+def resnet18_layers() -> tuple[ConvLayerSpec, ...]:
+    """Representative convolution layers of the pruned ResNet-18."""
+    # name, C_in, C_out, H, W, kernel, stride, weight sp., activation sp.
+    table = [
+        ("conv1", 3, 64, 224, 224, 7, 2, 0.30, 0.00),
+        ("2-1", 64, 64, 56, 56, 3, 1, 0.55, 0.45),
+        ("2-2", 64, 64, 56, 56, 3, 1, 0.60, 0.50),
+        ("2-3", 64, 64, 56, 56, 3, 1, 0.60, 0.50),
+        ("2-4", 64, 64, 56, 56, 3, 1, 0.65, 0.55),
+        ("3-1", 64, 128, 56, 56, 3, 2, 0.70, 0.55),
+        ("3-2", 128, 128, 28, 28, 3, 1, 0.70, 0.60),
+        ("3-3", 128, 128, 28, 28, 3, 1, 0.75, 0.60),
+        ("3-4", 128, 128, 28, 28, 3, 1, 0.75, 0.60),
+        ("4-1", 128, 256, 28, 28, 3, 2, 0.80, 0.65),
+        ("4-2", 256, 256, 14, 14, 3, 1, 0.80, 0.65),
+        ("4-3", 256, 256, 14, 14, 3, 1, 0.85, 0.70),
+        ("4-4", 256, 256, 14, 14, 3, 1, 0.85, 0.70),
+        ("5-1", 256, 512, 14, 14, 3, 2, 0.85, 0.70),
+        ("5-2", 512, 512, 7, 7, 3, 1, 0.90, 0.75),
+        ("5-3", 512, 512, 7, 7, 3, 1, 0.90, 0.75),
+        ("5-4", 512, 512, 7, 7, 3, 1, 0.90, 0.75),
+    ]
+    return tuple(
+        ConvLayerSpec(
+            name=name,
+            in_channels=c_in,
+            out_channels=c_out,
+            height=h,
+            width=w,
+            kernel=kernel,
+            stride=stride,
+            padding=kernel // 2,
+            weight_sparsity=w_sp,
+            activation_sparsity=a_sp,
+            batch=BATCH,
+        )
+        for name, c_in, c_out, h, w, kernel, stride, w_sp, a_sp in table
+    )
+
+
+def resnet18_model():
+    """The ResNet-18 entry of Table II."""
+    from repro.nn.models import ModelDefinition
+
+    return ModelDefinition(
+        name="ResNet-18",
+        kind="cnn",
+        pruning_scheme="AGP",
+        dataset="ImageNet",
+        accuracy="86.46% (top 5)",
+        conv_layers=resnet18_layers(),
+        weight_pattern="uniform",
+    )

@@ -1,0 +1,59 @@
+"""Word-level LSTM language model pruned with AGP — layer database.
+
+The paper reuses the RNN configuration of the Sparse Tensor Core work
+[72]: a word-level language model with a 2-layer LSTM encoder and a
+4-layer LSTM decoder, fine-tuned and pruned with AGP on WikiText-2 to
+roughly 90% weight sparsity.  Each LSTM layer's workload is its gate
+GEMM: (batch * steps) x (input + hidden) x (4 * hidden).  Hidden state
+activations (tanh / sigmoid outputs) are dense, so only weight sparsity
+is exploitable — the same situation as BERT.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.layer_spec import GemmLayerSpec
+
+#: Hidden size of every LSTM layer.
+HIDDEN = 1024
+#: Input embedding size.
+EMBEDDING = 1024
+#: Tokens processed per evaluated GEMM (batch x unrolled steps).
+TOKENS = 1024
+
+
+def rnn_layers() -> tuple[GemmLayerSpec, ...]:
+    """Representative gate GEMMs of the pruned encoder-decoder LSTM."""
+    table = [
+        ("enc-lstm-1", EMBEDDING + HIDDEN, 4 * HIDDEN, 0.90),
+        ("enc-lstm-2", 2 * HIDDEN, 4 * HIDDEN, 0.92),
+        ("dec-lstm-1", 2 * HIDDEN, 4 * HIDDEN, 0.90),
+        ("dec-lstm-2", 2 * HIDDEN, 4 * HIDDEN, 0.92),
+        ("dec-lstm-3", 2 * HIDDEN, 4 * HIDDEN, 0.93),
+        ("dec-lstm-4", 2 * HIDDEN, 4 * HIDDEN, 0.95),
+    ]
+    return tuple(
+        GemmLayerSpec(
+            name=name,
+            m=TOKENS,
+            k=k,
+            n=n,
+            weight_sparsity=w_sp,
+            activation_sparsity=0.0,
+        )
+        for name, k, n, w_sp in table
+    )
+
+
+def rnn_language_model():
+    """The RNN entry of Table II."""
+    from repro.nn.models import ModelDefinition
+
+    return ModelDefinition(
+        name="RNN",
+        kind="gemm",
+        pruning_scheme="AGP",
+        dataset="WikiText-2",
+        accuracy="85.7 (ppl)",
+        gemm_layers=rnn_layers(),
+        weight_pattern="blocked",
+    )

@@ -1,0 +1,69 @@
+"""VGG-16 (ImageNet) pruned with AGP — layer database.
+
+Shapes follow the standard VGG-16 configuration at 224x224 input.  Weight
+sparsity targets follow the usual AGP practice of pruning later, wider
+layers harder (the paper reports 88.86% top-5 after pruning); activation
+sparsity values are post-ReLU zero fractions in the ranges reported for
+ImageNet CNNs (45-80%, growing with depth).
+"""
+
+from __future__ import annotations
+
+from repro.kernels.layer_spec import ConvLayerSpec
+
+
+#: Datacenter-inference batch size used for the ImageNet CNNs (requests
+#: are batched before hitting the GPU; the paper's kernel sizes imply a
+#: batched lowered GEMM).
+BATCH = 16
+
+
+def vgg16_layers() -> tuple[ConvLayerSpec, ...]:
+    """Representative convolution layers of the pruned VGG-16."""
+    # name, C_in, C_out, H, W, weight sparsity, activation sparsity
+    table = [
+        ("conv1-1", 3, 64, 224, 224, 0.40, 0.00),
+        ("conv1-2", 64, 64, 224, 224, 0.55, 0.45),
+        ("conv2-1", 64, 128, 112, 112, 0.60, 0.50),
+        ("conv2-2", 128, 128, 112, 112, 0.65, 0.55),
+        ("conv3-1", 128, 256, 56, 56, 0.70, 0.55),
+        ("conv3-2", 256, 256, 56, 56, 0.75, 0.60),
+        ("conv3-3", 256, 256, 56, 56, 0.75, 0.60),
+        ("conv4-1", 256, 512, 28, 28, 0.80, 0.65),
+        ("conv4-2", 512, 512, 28, 28, 0.85, 0.70),
+        ("conv4-3", 512, 512, 28, 28, 0.85, 0.70),
+        ("conv5-1", 512, 512, 14, 14, 0.90, 0.75),
+        ("conv5-2", 512, 512, 14, 14, 0.90, 0.75),
+        ("conv5-3", 512, 512, 14, 14, 0.90, 0.78),
+    ]
+    return tuple(
+        ConvLayerSpec(
+            name=name,
+            in_channels=c_in,
+            out_channels=c_out,
+            height=h,
+            width=w,
+            kernel=3,
+            stride=1,
+            padding=1,
+            weight_sparsity=w_sp,
+            activation_sparsity=a_sp,
+            batch=BATCH,
+        )
+        for name, c_in, c_out, h, w, w_sp, a_sp in table
+    )
+
+
+def vgg16_model():
+    """The VGG-16 entry of Table II."""
+    from repro.nn.models import ModelDefinition
+
+    return ModelDefinition(
+        name="VGG-16",
+        kind="cnn",
+        pruning_scheme="AGP",
+        dataset="ImageNet",
+        accuracy="88.86% (top 5)",
+        conv_layers=vgg16_layers(),
+        weight_pattern="uniform",
+    )

@@ -1,0 +1,66 @@
+"""Automated Gradual Pruning (AGP) [Zhu & Gupta, 2018].
+
+AGP increases a layer's sparsity from an initial value to a final target
+following a cubic schedule over the pruning window, removing the
+smallest-magnitude weights at each step.  The CNN models (VGG-16,
+ResNet-18, Mask R-CNN) and the RNN of Table II are pruned with AGP on
+Distiller in the paper; here the same schedule drives synthetic weight
+tensors to the published per-layer targets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.pruning.masks import apply_mask, magnitude_mask
+from repro.utils.validation import check_probability
+
+
+def agp_target_sparsity(
+    step: int,
+    begin_step: int,
+    end_step: int,
+    initial_sparsity: float,
+    final_sparsity: float,
+) -> float:
+    """The AGP cubic sparsity schedule.
+
+    s(t) = s_f + (s_i - s_f) * (1 - (t - t_0) / (t_n - t_0))^3, clamped to
+    the [t_0, t_n] window.
+    """
+    check_probability(initial_sparsity, "initial_sparsity")
+    check_probability(final_sparsity, "final_sparsity")
+    if end_step <= begin_step:
+        raise ConfigError("end_step must be greater than begin_step")
+    if step <= begin_step:
+        return initial_sparsity
+    if step >= end_step:
+        return final_sparsity
+    progress = (step - begin_step) / (end_step - begin_step)
+    return final_sparsity + (initial_sparsity - final_sparsity) * (1.0 - progress) ** 3
+
+
+def agp_prune(
+    weights: np.ndarray,
+    final_sparsity: float,
+    steps: int = 10,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Prune a weight tensor to ``final_sparsity`` with the AGP schedule.
+
+    The schedule is applied step by step (each step re-thresholds the
+    already-pruned tensor), matching how gradual pruning interleaves with
+    fine-tuning.  The ``rng`` argument perturbs weights slightly between
+    steps to emulate fine-tuning updates; omit it for a deterministic
+    single-shot result.
+    """
+    weights = np.asarray(weights, dtype=np.float64).copy()
+    for step in range(1, steps + 1):
+        target = agp_target_sparsity(step, 0, steps, 0.0, final_sparsity)
+        mask = magnitude_mask(weights, target)
+        weights = apply_mask(weights, mask)
+        if rng is not None and step < steps:
+            surviving = weights != 0
+            weights[surviving] += 0.01 * rng.standard_normal(int(surviving.sum()))
+    return weights

@@ -1,0 +1,41 @@
+"""Mask utilities shared by the pruning schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+
+def magnitude_mask(weights: np.ndarray, sparsity: float) -> np.ndarray:
+    """Boolean keep-mask that removes the smallest-magnitude weights.
+
+    Args:
+        weights: weight tensor of any shape.
+        sparsity: fraction of weights to remove (globally, by magnitude).
+
+    Returns:
+        Boolean array of the same shape, True where the weight survives.
+    """
+    check_probability(sparsity, "sparsity")
+    weights = np.asarray(weights)
+    if sparsity <= 0.0:
+        return np.ones(weights.shape, dtype=bool)
+    if sparsity >= 1.0:
+        return np.zeros(weights.shape, dtype=bool)
+    flat = np.abs(weights).reshape(-1)
+    threshold = np.quantile(flat, sparsity)
+    return np.abs(weights) > threshold
+
+
+def apply_mask(weights: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    """Zero out pruned weights."""
+    weights = np.asarray(weights)
+    mask = np.asarray(mask, dtype=bool)
+    return np.where(mask, weights, np.zeros((), dtype=weights.dtype))
+
+
+def mask_sparsity(mask: np.ndarray) -> float:
+    """Fraction of elements removed by a keep-mask."""
+    mask = np.asarray(mask, dtype=bool)
+    return 1.0 - float(mask.sum()) / mask.size if mask.size else 0.0

@@ -1,0 +1,41 @@
+"""A100-style 2:4 structured pruning.
+
+Every group of four consecutive weights along the reduction dimension
+keeps its two largest-magnitude elements, giving a fixed 50% sparsity
+that the Ampere sparse Tensor Core can exploit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def prune_2_4(weights: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Apply 2-out-of-4 pruning along ``axis``.
+
+    Args:
+        weights: weight matrix; the size along ``axis`` must be a
+            multiple of 4.
+        axis: reduction axis along which groups of four are formed.
+
+    Returns:
+        The pruned weights (same shape, 50% zeros in every 4-group).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    moved = np.moveaxis(weights, axis, -1)
+    if moved.shape[-1] % 4 != 0:
+        raise ShapeError(
+            f"dimension along axis {axis} must be a multiple of 4, "
+            f"got {moved.shape[-1]}"
+        )
+    grouped = moved.reshape(*moved.shape[:-1], moved.shape[-1] // 4, 4)
+    magnitude = np.abs(grouped)
+    # Rank within each group of four; keep the top two.
+    order = np.argsort(magnitude, axis=-1)
+    keep = np.zeros_like(grouped, dtype=bool)
+    top_two = order[..., 2:]
+    np.put_along_axis(keep, top_two, True, axis=-1)
+    pruned = np.where(keep, grouped, 0.0)
+    return np.moveaxis(pruned.reshape(moved.shape), -1, axis)

@@ -1,0 +1,51 @@
+"""Vector-wise pruning for the Sparse Tensor Core baseline [72].
+
+Zhu et al. partition each weight row into fixed-length vectors and prune
+every vector to the same keep-ratio (e.g. keep 8 of 32 for a 75% pruning
+target), so the hardware's offset registers can locate the survivors with
+a constant per-vector budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.utils.validation import check_probability
+
+
+def vector_wise_prune(
+    weights: np.ndarray, sparsity: float, vector_length: int = 32
+) -> np.ndarray:
+    """Prune each length-``vector_length`` vector to the target sparsity.
+
+    Args:
+        weights: 2-D weight matrix; the last dimension must be a multiple
+            of ``vector_length``.
+        sparsity: fraction of weights removed inside every vector.
+        vector_length: pruning vector length (32 in [72]).
+
+    Returns:
+        Pruned weights with exactly ``round(vector_length * sparsity)``
+        zeros per vector.
+    """
+    check_probability(sparsity, "sparsity")
+    if vector_length <= 0:
+        raise ConfigError("vector_length must be positive")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2:
+        raise ShapeError(f"weights must be 2-D, got {weights.shape}")
+    if weights.shape[1] % vector_length != 0:
+        raise ShapeError(
+            f"columns ({weights.shape[1]}) must be a multiple of {vector_length}"
+        )
+    keep_per_vector = vector_length - int(round(vector_length * sparsity))
+    grouped = weights.reshape(weights.shape[0], -1, vector_length)
+    magnitude = np.abs(grouped)
+    order = np.argsort(magnitude, axis=-1)
+    keep = np.zeros_like(grouped, dtype=bool)
+    if keep_per_vector > 0:
+        top = order[..., -keep_per_vector:]
+        np.put_along_axis(keep, top, True, axis=-1)
+    pruned = np.where(keep, grouped, 0.0)
+    return pruned.reshape(weights.shape)

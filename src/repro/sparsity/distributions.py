@@ -1,0 +1,107 @@
+"""Non-zero placement patterns for synthetic sparse matrices.
+
+Weight sparsity produced by magnitude pruning is close to uniform, while
+activation sparsity after ReLU is spatially clustered (whole channels or
+regions go quiet together).  The distribution of non-zeros matters to the
+proposed design because the speedup of a warp tile is quantised
+(Figure 5) and skipping whole tiles needs empty tiles to exist
+(Figures 6 and 9), so the generators below expose several placement
+patterns with the same overall density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_probability
+
+
+def uniform_mask(
+    shape: tuple[int, int], density: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Independent Bernoulli mask: each element is non-zero with ``density``."""
+    check_probability(density, "density")
+    return rng.random(shape) < density
+
+
+def row_banded_mask(
+    shape: tuple[int, int],
+    density: float,
+    rng: np.random.Generator,
+    imbalance: float = 0.5,
+) -> np.ndarray:
+    """Rows alternate between dense and sparse bands.
+
+    Half the rows get density ``density * (1 + imbalance)`` and half get
+    ``density * (1 - imbalance)`` (clipped to [0, 1]).  This mimics the
+    example of Figure 6 where some warps see far fewer non-zeros than the
+    matrix average and can therefore be accelerated even when the average
+    sparsity sits between the quantised levels.
+    """
+    check_probability(density, "density")
+    rows, cols = shape
+    high = min(1.0, density * (1.0 + imbalance))
+    low = max(0.0, density * (1.0 - imbalance))
+    mask = np.zeros(shape, dtype=bool)
+    for i in range(rows):
+        row_density = high if (i // 8) % 2 == 0 else low
+        mask[i] = rng.random(cols) < row_density
+    return mask
+
+
+def blocked_mask(
+    shape: tuple[int, int],
+    density: float,
+    rng: np.random.Generator,
+    block: int = 32,
+) -> np.ndarray:
+    """Entire ``block``-sized tiles are either populated or empty.
+
+    The fraction of populated tiles equals ``density``; populated tiles
+    are internally dense.  This is the most favourable pattern for the
+    two-level bitmap because empty warps are skipped wholesale.
+    """
+    check_probability(density, "density")
+    rows, cols = shape
+    grid_rows = -(-rows // block)
+    grid_cols = -(-cols // block)
+    tile_on = rng.random((grid_rows, grid_cols)) < density
+    mask = np.zeros(shape, dtype=bool)
+    for ti in range(grid_rows):
+        for tj in range(grid_cols):
+            if tile_on[ti, tj]:
+                r0, c0 = ti * block, tj * block
+                mask[r0 : r0 + block, c0 : c0 + block] = True
+    return mask
+
+
+def clustered_mask(
+    shape: tuple[int, int],
+    density: float,
+    rng: np.random.Generator,
+    cluster_size: int = 8,
+) -> np.ndarray:
+    """Non-zeros appear in short horizontal runs (ReLU-like clustering).
+
+    Runs of ``cluster_size`` consecutive elements are switched on until
+    the target density is met, approximating the spatial correlation of
+    post-ReLU activation maps.
+    """
+    check_probability(density, "density")
+    rows, cols = shape
+    mask = np.zeros(shape, dtype=bool)
+    target = int(round(density * rows * cols))
+    placed = 0
+    # Upper bound on attempts keeps the loop finite even at densities
+    # close to 1 where most draws land on already-set elements.
+    max_attempts = 4 * (target // max(cluster_size, 1) + rows * cols // cluster_size + 1)
+    attempts = 0
+    while placed < target and attempts < max_attempts:
+        attempts += 1
+        i = int(rng.integers(rows))
+        j = int(rng.integers(cols))
+        run = mask[i, j : j + cluster_size]
+        newly = int(np.count_nonzero(~run))
+        run[:] = True
+        placed += newly
+    return mask

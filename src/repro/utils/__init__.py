@@ -1,0 +1,32 @@
+"""Shared low-level helpers: bit manipulation, tiling, validation."""
+
+from repro.utils.bitops import (
+    pack_bits,
+    unpack_bits,
+    popcount,
+    popcount_words,
+    prefix_popcount,
+)
+from repro.utils.tiling import ceil_div, pad_to_multiple, tile_ranges, num_tiles
+from repro.utils.validation import (
+    check_2d,
+    check_positive,
+    check_probability,
+    check_same_shape,
+)
+
+__all__ = [
+    "pack_bits",
+    "unpack_bits",
+    "popcount",
+    "popcount_words",
+    "prefix_popcount",
+    "ceil_div",
+    "pad_to_multiple",
+    "tile_ranges",
+    "num_tiles",
+    "check_2d",
+    "check_positive",
+    "check_probability",
+    "check_same_shape",
+]

@@ -1,0 +1,116 @@
+"""Bit-level helpers used by the bitmap sparse encodings.
+
+The paper's encoding (Section III-A) stores the position information of
+non-zero elements as a dense bitmap.  On real hardware the bitmap lives in
+32-bit registers and is manipulated with population-count (``POPC``) and
+shift instructions (Section IV-B, Figure 11b).  These helpers provide the
+same operations on NumPy arrays so that the functional model mirrors what
+the hardware would do word by word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+#: Number of bits per bitmap storage word, matching a GPU register.
+WORD_BITS = 32
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean vector into little-endian 32-bit words.
+
+    Bit ``i`` of the input maps to bit ``i % 32`` of word ``i // 32``.
+    The final word is zero-padded.
+
+    Args:
+        bits: one-dimensional boolean (or 0/1 integer) array.
+
+    Returns:
+        ``uint32`` array of length ``ceil(len(bits) / 32)``.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 1:
+        raise ShapeError(f"pack_bits expects a 1-D array, got shape {bits.shape}")
+    bits = bits.astype(bool)
+    n_words = (bits.size + WORD_BITS - 1) // WORD_BITS
+    padded = np.zeros(n_words * WORD_BITS, dtype=bool)
+    padded[: bits.size] = bits
+    # numpy packbits is big-endian within a byte by default; request little.
+    packed_bytes = np.packbits(padded, bitorder="little")
+    return packed_bytes.view(np.uint32)
+
+
+def unpack_bits(words: np.ndarray, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`.
+
+    Args:
+        words: ``uint32`` array produced by :func:`pack_bits`.
+        length: number of valid bits to return.
+
+    Returns:
+        Boolean array of ``length`` elements.
+    """
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    as_bytes = words.view(np.uint8)
+    bits = np.unpackbits(as_bytes, bitorder="little")
+    if length > bits.size:
+        raise ShapeError(
+            f"requested {length} bits but packed words only hold {bits.size}"
+        )
+    return bits[:length].astype(bool)
+
+
+def popcount(bits: np.ndarray) -> int:
+    """Count the set bits of a boolean vector (the ``POPC`` instruction)."""
+    return int(np.count_nonzero(np.asarray(bits)))
+
+
+def popcount_words(words: np.ndarray) -> np.ndarray:
+    """Per-word population count of packed ``uint32`` words."""
+    words = np.ascontiguousarray(words, dtype=np.uint32)
+    as_bytes = words.view(np.uint8).reshape(-1, 4)
+    table = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+    return table[as_bytes].sum(axis=1).astype(np.int64)
+
+
+def prefix_popcount(bits: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum of a bit vector.
+
+    ``prefix_popcount(b)[i]`` is the number of set bits strictly before
+    position ``i``.  This is exactly the address-offset computation the
+    sparse im2col performs when it accumulates shifted-out bits
+    (Figure 11b, step S3): the offset of the value belonging to bit ``i``
+    inside the condensed value array.
+    """
+    bits = np.asarray(bits).astype(np.int64)
+    if bits.ndim != 1:
+        raise ShapeError(f"prefix_popcount expects a 1-D array, got {bits.shape}")
+    out = np.zeros_like(bits)
+    if bits.size > 1:
+        out[1:] = np.cumsum(bits[:-1])
+    return out
+
+
+def bitmap_and(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Element-wise AND of two boolean bitmaps (1-bit multiply)."""
+    a = np.asarray(a, dtype=bool)
+    b = np.asarray(b, dtype=bool)
+    if a.shape != b.shape:
+        raise ShapeError(f"bitmap shapes differ: {a.shape} vs {b.shape}")
+    return a & b
+
+
+def bitmap_outer(col_bits: np.ndarray, row_bits: np.ndarray) -> np.ndarray:
+    """1-bit outer product of a column bitmap and a row bitmap.
+
+    This is the functional semantics of the ``BOHMMA`` instruction
+    (Section V-A2): the output bitmap marks the positions of the partial
+    matrix that receive a non-zero product.
+    """
+    col_bits = np.asarray(col_bits, dtype=bool)
+    row_bits = np.asarray(row_bits, dtype=bool)
+    if col_bits.ndim != 1 or row_bits.ndim != 1:
+        raise ShapeError("bitmap_outer expects two 1-D bit vectors")
+    return np.outer(col_bits, row_bits)

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparsity.generators import random_sparse_matrix
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator for reproducible tests."""
+    return np.random.default_rng(20210520)
+
+
+@pytest.fixture
+def make_sparse(rng):
+    """Factory fixture: random sparse matrix with a given shape / density."""
+
+    def _make(shape, density, pattern="uniform"):
+        return random_sparse_matrix(shape, density, rng, pattern=pattern)
+
+    return _make

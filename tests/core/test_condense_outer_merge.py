@@ -1,0 +1,170 @@
+"""Tests for condensing, outer-product primitives and the merge step."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.condense import (
+    CondensedVector,
+    condense,
+    condense_from_bitmap,
+    effective_sparsity_level,
+    quantized_steps,
+)
+from repro.core.merge import MergeStats, merge_partial, merge_sequence
+from repro.core.outer_product import (
+    PartialMatrix,
+    multiply_bitmap,
+    multiply_value,
+    outer_product_step,
+    partial_matrix_from_dense,
+)
+from repro.errors import ShapeError
+
+
+class TestCondense:
+    def test_condense_pushes_nonzeros_together(self):
+        vector = np.array([0.0, 3.0, 0.0, 4.0])
+        condensed = condense(vector)
+        assert list(condensed.values) == [3.0, 4.0]
+        assert list(condensed.bitmap) == [False, True, False, True]
+        assert condensed.nnz == 2
+        assert not condensed.is_empty
+
+    def test_condense_empty_vector(self):
+        condensed = condense(np.zeros(8))
+        assert condensed.is_empty
+        assert condensed.nnz == 0
+
+    def test_condense_rejects_2d(self):
+        with pytest.raises(ShapeError):
+            condense(np.zeros((2, 2)))
+
+    def test_condense_from_bitmap_consistency_check(self):
+        with pytest.raises(ShapeError):
+            condense_from_bitmap(np.array([True, False]), np.array([1.0, 2.0]))
+
+    def test_padded_rounds_to_multiple(self):
+        condensed = condense(np.array([1.0, 0.0, 2.0, 3.0, 0.0]))
+        padded = condensed.padded(8)
+        assert padded.size == 8
+        assert list(padded[:3]) == [1.0, 2.0, 3.0]
+        assert np.all(padded[3:] == 0)
+
+    def test_padded_empty(self):
+        assert condense(np.zeros(4)).padded(8).size == 0
+
+    @pytest.mark.parametrize(
+        "nnz,granularity,expected",
+        [(0, 8, 0), (1, 8, 1), (8, 8, 1), (9, 8, 2), (20, 8, 3), (32, 8, 4), (17, 16, 2)],
+    )
+    def test_quantized_steps(self, nnz, granularity, expected):
+        assert quantized_steps(nnz, granularity) == expected
+
+    def test_quantized_steps_rejects_negative(self):
+        with pytest.raises(ShapeError):
+            quantized_steps(-1, 8)
+
+    @pytest.mark.parametrize(
+        "nnz,expected", [(0, 1.0), (1, 0.75), (8, 0.75), (9, 0.5), (24, 0.25), (25, 0.0)]
+    )
+    def test_effective_sparsity_levels_a_side(self, nnz, expected):
+        # 32-long vector, 8-element granularity: levels 0/25/50/75%.
+        assert effective_sparsity_level(nnz, 32, 8) == pytest.approx(expected)
+
+    @given(st.integers(0, 32))
+    @settings(max_examples=40, deadline=None)
+    def test_effective_sparsity_never_exceeds_actual(self, nnz):
+        actual_sparsity = 1.0 - nnz / 32
+        exploitable = effective_sparsity_level(nnz, 32, 8)
+        assert exploitable <= actual_sparsity + 1e-9
+
+
+class TestOuterProduct:
+    def test_multiply_value_is_cross_product(self):
+        a = condense(np.array([2.0, 0.0, 3.0]))
+        b = condense(np.array([0.0, 5.0]))
+        block = multiply_value(a, b)
+        assert block.shape == (2, 1)
+        assert block[0, 0] == 10.0 and block[1, 0] == 15.0
+
+    def test_multiply_value_with_empty_operand(self):
+        a = condense(np.zeros(3))
+        b = condense(np.array([1.0]))
+        assert multiply_value(a, b).size == 0
+
+    def test_multiply_bitmap_matches_nonzero_structure(self):
+        a = condense(np.array([1.0, 0.0, 2.0]))
+        b = condense(np.array([0.0, 3.0]))
+        bitmap = multiply_bitmap(a, b)
+        assert bitmap.shape == (3, 2)
+        assert bitmap[0, 1] and bitmap[2, 1]
+        assert not bitmap[1, 1] and not bitmap[0, 0]
+
+    def test_outer_product_step_reconstructs_dense_outer(self):
+        a_vec = np.array([1.0, 0.0, 2.0, 0.0])
+        b_vec = np.array([0.0, 3.0, 4.0])
+        partial = outer_product_step(condense(a_vec), condense(b_vec))
+        assert np.allclose(partial.to_dense(), np.outer(a_vec, b_vec))
+        assert partial.nnz == 4
+
+    def test_partial_matrix_from_dense(self):
+        dense = np.array([[0.0, 1.0], [2.0, 0.0]])
+        partial = partial_matrix_from_dense(dense)
+        assert partial.nnz == 2
+        assert np.allclose(partial.to_dense(), dense)
+
+    def test_partial_matrix_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            partial_matrix_from_dense(np.zeros(3))
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_outer_step_equals_numpy_outer(self, seed):
+        rng = np.random.default_rng(seed)
+        a_vec = np.where(rng.random(16) < 0.4, rng.uniform(1, 2, 16), 0.0)
+        b_vec = np.where(rng.random(12) < 0.4, rng.uniform(1, 2, 12), 0.0)
+        partial = outer_product_step(condense(a_vec), condense(b_vec))
+        assert np.allclose(partial.to_dense(), np.outer(a_vec, b_vec))
+
+
+class TestMerge:
+    def test_merge_accumulates_in_place(self):
+        accumulator = np.ones((2, 2))
+        partial = partial_matrix_from_dense(np.array([[0.0, 2.0], [0.0, 0.0]]))
+        stats = merge_partial(accumulator, partial)
+        assert accumulator[0, 1] == 3.0
+        assert accumulator[0, 0] == 1.0
+        assert stats.gathers == stats.scatters == stats.accumulations == 1
+
+    def test_merge_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            merge_partial(np.zeros((2, 2)), partial_matrix_from_dense(np.zeros((3, 3))))
+
+    def test_merge_empty_partial_is_free(self):
+        stats = merge_partial(np.zeros((4, 4)), partial_matrix_from_dense(np.zeros((4, 4))))
+        assert stats.gathers == 0
+
+    def test_merge_collects_positions_when_asked(self):
+        partial = partial_matrix_from_dense(np.array([[1.0, 0.0], [0.0, 1.0]]))
+        stats = merge_partial(np.zeros((2, 2)), partial, collect_positions=True)
+        assert len(stats.access_positions) == 1
+        assert list(stats.access_positions[0]) == [0, 3]
+
+    def test_merge_sequence_equals_sum_of_partials(self, rng):
+        partials = []
+        expected = np.zeros((6, 5))
+        for _ in range(4):
+            dense = np.where(rng.random((6, 5)) < 0.3, rng.uniform(1, 2, (6, 5)), 0.0)
+            expected += dense
+            partials.append(partial_matrix_from_dense(dense))
+        accumulated, stats = merge_sequence((6, 5), partials)
+        assert np.allclose(accumulated, expected)
+        assert stats.accumulations == sum(p.nnz for p in partials)
+
+    def test_merge_stats_merge_with(self):
+        a = MergeStats(gathers=1, accumulations=2, scatters=3)
+        b = MergeStats(gathers=10, accumulations=20, scatters=30)
+        a.merge_with(b)
+        assert (a.gathers, a.accumulations, a.scatters) == (11, 22, 33)

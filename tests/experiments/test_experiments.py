@@ -1,0 +1,200 @@
+"""Tests for the experiment drivers (tables and figures)."""
+
+import pytest
+
+from repro.experiments.fig5_warp_skipping import run_fig5
+from repro.experiments.fig6_tiling_speedup import run_fig6
+from repro.experiments.fig19_operand_collector import run_fig19
+from repro.experiments.fig21_spgemm import run_fig21
+from repro.experiments.fig22_models import run_fig22
+from repro.experiments.report import format_rows
+from repro.experiments.runner import main as runner_main
+from repro.experiments.table2_models import run_table2
+from repro.experiments.table3_im2col import PAPER_BITMAP, PAPER_CSR, run_table3
+from repro.experiments.table4_overhead import run_table4
+
+
+class TestTable2:
+    def test_five_models_listed(self):
+        rows = run_table2()
+        assert len(rows) == 5
+        assert {row["model"] for row in rows} == {
+            "VGG-16",
+            "ResNet-18",
+            "Mask R-CNN",
+            "BERT-base Encoder",
+            "RNN",
+        }
+
+    def test_pruning_schemes_match_paper(self):
+        rows = {row["model"]: row for row in run_table2()}
+        assert rows["VGG-16"]["pruning_scheme"] == "AGP"
+        assert "Movement" in rows["BERT-base Encoder"]["pruning_scheme"]
+        assert rows["RNN"]["dataset"] == "WikiText-2"
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table3(scale=0.5)
+
+    def test_six_sparsity_points(self, rows):
+        assert len(rows) == 6
+        assert [row["sparsity_percent"] for row in rows] == [0, 25, 50, 75, 99, 99.9]
+
+    def test_bitmap_order_of_magnitude_faster_than_csr_below_50(self, rows):
+        for row in rows:
+            if row["sparsity_percent"] <= 50:
+                assert row["csr_im2col"] > 8 * row["bitmap_im2col"]
+
+    def test_within_2x_of_paper_values(self, rows):
+        from repro.experiments.table3_im2col import SPARSITY_POINTS
+
+        for row, sparsity in zip(rows, SPARSITY_POINTS):
+            assert row["csr_im2col"] == pytest.approx(PAPER_CSR[sparsity], rel=1.0)
+            assert row["bitmap_im2col"] == pytest.approx(PAPER_BITMAP[sparsity], rel=1.0)
+
+    def test_both_converge_to_dense_at_extreme_sparsity(self, rows):
+        last = rows[-1]
+        assert last["csr_im2col"] < 2.0
+        assert last["bitmap_im2col"] < 1.3
+
+
+class TestFig21:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # The paper's 4096-sized sweep; the statistical estimator makes
+        # this cheap (no matrices are materialised).
+        return run_fig21(size=4096)
+
+    def _ours(self, rows, a_sparsity, b_sparsity):
+        for row in rows:
+            if (
+                row["method"].startswith("Dual")
+                and row["a_sparsity"] == a_sparsity
+                and row["b_sparsity"] == b_sparsity
+            ):
+                return row
+        raise AssertionError("row not found")
+
+    def test_all_four_methods_present(self, rows):
+        methods = {row["method"] for row in rows}
+        assert methods == {
+            "CUTLASS",
+            "cuSparse",
+            "Sparse Tensor Core",
+            "Dual-side Sparse Tensor Core",
+        }
+
+    def test_sparse_tc_flat_speedup(self, rows):
+        row = next(row for row in rows if row["method"] == "Sparse Tensor Core")
+        assert row["speedup_vs_cutlass"] == pytest.approx(1.86, abs=0.15)
+
+    def test_cusparse_only_wins_at_extreme_sparsity(self, rows):
+        cusparse = [row for row in rows if row["method"] == "cuSparse"]
+        at_90 = next(row for row in cusparse if row["a_sparsity"] == 0.9)
+        at_999 = next(row for row in cusparse if row["a_sparsity"] == 0.999)
+        assert at_90["speedup_vs_cutlass"] < 1.0
+        assert at_999["speedup_vs_cutlass"] > 1.0
+
+    def test_ours_crosses_over_around_25_percent(self, rows):
+        assert self._ours(rows, 0.0, 0.0)["speedup_vs_cutlass"] < 1.0
+        assert self._ours(rows, 0.4, 0.0)["speedup_vs_cutlass"] > 1.0
+
+    def test_ours_reaches_order_of_magnitude(self, rows):
+        assert self._ours(rows, 0.999, 0.99)["speedup_vs_cutlass"] > 10.0
+
+    def test_ours_beats_all_baselines_at_high_dual_sparsity(self, rows):
+        ours = self._ours(rows, 0.99, 0.99)
+        others = [
+            row["time_us"]
+            for row in rows
+            if row["method"] != "Dual-side Sparse Tensor Core"
+        ]
+        assert ours["time_us"] < min(others)
+
+    def test_speedup_monotone_in_b_sparsity(self, rows):
+        speedups = [
+            self._ours(rows, 0.5, b)["speedup_vs_cutlass"] for b in (0.0, 0.6, 0.9, 0.99)
+        ]
+        assert speedups == sorted(speedups)
+
+
+class TestFig22:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig22(models=("ResNet-18", "RNN"))
+
+    def test_full_model_rows_present(self, rows):
+        full = [row for row in rows if row["layer"] == "full-model"]
+        assert {row["model"] for row in full} == {"ResNet-18", "RNN"}
+
+    def test_dual_sparse_wins_for_both_models(self, rows):
+        for model, dual_name in (
+            ("ResNet-18", "Dual Sparse Implicit"),
+            ("RNN", "Dual Sparse GEMM"),
+        ):
+            full = {
+                row["method"]: row["speedup_vs_baseline"]
+                for row in rows
+                if row["model"] == model and row["layer"] == "full-model"
+            }
+            assert full[dual_name] == max(full.values())
+            assert full[dual_name] > 1.5
+
+    def test_rnn_reaches_paper_range(self, rows):
+        full = {
+            row["method"]: row["speedup_vs_baseline"]
+            for row in rows
+            if row["model"] == "RNN" and row["layer"] == "full-model"
+        }
+        assert 3.0 < full["Dual Sparse GEMM"] < 12.0
+
+
+class TestTable4AndMicroFigures:
+    def test_table4_matches_paper(self):
+        rows = {row["module"]: row for row in run_table4()}
+        total = rows["Total overhead on V100"]
+        assert total["area_mm2"] == pytest.approx(12.846, rel=0.03)
+        assert rows["Fraction of V100"]["area_mm2"] == pytest.approx(0.016, abs=0.003)
+
+    def test_fig5_quantised_skipping(self):
+        rows = run_fig5()
+        dense = next(r for r in rows if r["a_sparsity"] == 0 and r["b_sparsity"] == 0)
+        sparse = next(r for r in rows if r["a_sparsity"] == 0.75 and r["b_sparsity"] == 0.5)
+        assert dense["instruction_speedup"] == 1.0
+        assert sparse["instruction_speedup"] > 2.0
+        assert all(r["ohmma_issued"] == r["spwmma_enabled"] for r in rows)
+
+    def test_fig6_imbalance_beats_uniform(self):
+        rows = run_fig6(size=128)
+        by_label = {row["distribution"]: row for row in rows}
+        assert (
+            by_label["imbalanced (Figure 6)"]["instruction_speedup"]
+            > by_label["uniform"]["instruction_speedup"]
+        )
+        assert by_label["imbalanced (Figure 6)"]["instruction_speedup"] > 1.2
+
+    def test_fig19_collector_helps(self):
+        rows = run_fig19(num_instructions=16)
+        sparse_rows = [row for row in rows if row["mode"].startswith("sparse")]
+        assert all(row["collector_speedup"] > 1.0 for row in sparse_rows)
+
+
+class TestReportAndRunner:
+    def test_format_rows_alignment(self):
+        text = format_rows([{"a": 1, "b": 2.5}, {"a": 10, "b": 0.25}], title="demo")
+        assert "demo" in text and "a" in text
+        assert len(text.splitlines()) == 5
+
+    def test_format_rows_empty(self):
+        assert "(no rows)" in format_rows([], title="empty")
+
+    def test_runner_quick_subset(self, capsys):
+        assert runner_main(["--quick", "table2", "table4"]) == 0
+        captured = capsys.readouterr().out
+        assert "table2" in captured and "table4" in captured
+
+    def test_runner_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            runner_main(["nonexistent"])

@@ -1,0 +1,48 @@
+"""Tests for format conversions."""
+
+import numpy as np
+import pytest
+
+from repro.formats.conversions import (
+    bitmap_to_csr,
+    bitmap_to_dense,
+    coo_to_dense,
+    csr_to_bitmap,
+    csr_to_dense,
+    dense_to_bitmap,
+    dense_to_coo,
+    dense_to_csr,
+)
+
+
+@pytest.fixture
+def dense(rng):
+    mask = rng.random((15, 11)) < 0.3
+    return np.where(mask, rng.uniform(0.5, 1.5, (15, 11)), 0.0)
+
+
+class TestRoundTrips:
+    def test_dense_csr_dense(self, dense):
+        assert np.allclose(csr_to_dense(dense_to_csr(dense)), dense)
+
+    def test_dense_coo_dense(self, dense):
+        assert np.allclose(coo_to_dense(dense_to_coo(dense)), dense)
+
+    def test_dense_bitmap_dense(self, dense):
+        assert np.allclose(bitmap_to_dense(dense_to_bitmap(dense)), dense)
+
+    def test_csr_to_bitmap_preserves_values(self, dense):
+        csr = dense_to_csr(dense)
+        bitmap = csr_to_bitmap(csr)
+        assert np.allclose(bitmap.to_dense(), dense)
+
+    def test_bitmap_to_csr_preserves_values(self, dense):
+        bitmap = dense_to_bitmap(dense, order="row")
+        csr = bitmap_to_csr(bitmap)
+        assert np.allclose(csr.to_dense(), dense)
+
+    def test_nnz_preserved_across_all_formats(self, dense):
+        nnz = np.count_nonzero(dense)
+        assert dense_to_csr(dense).nnz == nnz
+        assert dense_to_coo(dense).nnz == nnz
+        assert dense_to_bitmap(dense).nnz == nnz

@@ -1,0 +1,133 @@
+"""Tests for the dense, COO and CSR formats."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.formats.coo import CooMatrix
+from repro.formats.csr import CsrMatrix
+from repro.formats.dense import DenseMatrix
+
+
+def _random_dense(seed, shape=(13, 9), density=0.3):
+    rng = np.random.default_rng(seed)
+    mask = rng.random(shape) < density
+    return np.where(mask, rng.uniform(0.5, 1.5, shape), 0.0)
+
+
+class TestDenseMatrix:
+    def test_basic_stats(self):
+        matrix = DenseMatrix(np.array([[1.0, 0.0], [0.0, 2.0]]))
+        assert matrix.shape == (2, 2)
+        assert matrix.nnz == 2
+        assert matrix.density == 0.5
+        assert matrix.sparsity == 0.5
+
+    def test_footprint_uses_element_bytes(self):
+        matrix = DenseMatrix(np.zeros((4, 4)), element_bytes=2)
+        assert matrix.footprint_bytes() == 32
+
+    def test_to_dense_returns_copy(self):
+        data = np.ones((2, 2))
+        matrix = DenseMatrix(data)
+        out = matrix.to_dense()
+        out[0, 0] = 99
+        assert matrix.data[0, 0] == 1
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            DenseMatrix(np.zeros(3))
+
+
+class TestCooMatrix:
+    def test_round_trip(self):
+        dense = _random_dense(0)
+        coo = CooMatrix.from_dense(dense)
+        assert np.allclose(coo.to_dense(), dense)
+        assert coo.nnz == np.count_nonzero(dense)
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(FormatError):
+            CooMatrix(shape=(2, 2), rows=[0], cols=[0, 1], values=[1.0])
+
+    def test_rejects_out_of_bounds_indices(self):
+        with pytest.raises(FormatError):
+            CooMatrix(shape=(2, 2), rows=[5], cols=[0], values=[1.0])
+
+    def test_footprint_scales_with_nnz(self):
+        dense = _random_dense(1)
+        coo = CooMatrix.from_dense(dense)
+        assert coo.footprint_bytes() == coo.nnz * (4 + 4 + 2)
+
+    def test_empty_matrix(self):
+        coo = CooMatrix.from_dense(np.zeros((3, 3)))
+        assert coo.nnz == 0
+        assert np.allclose(coo.to_dense(), 0)
+
+
+class TestCsrMatrix:
+    def test_round_trip(self):
+        dense = _random_dense(2)
+        csr = CsrMatrix.from_dense(dense)
+        assert np.allclose(csr.to_dense(), dense)
+
+    def test_row_access(self):
+        dense = np.array([[0.0, 5.0, 0.0], [1.0, 0.0, 2.0]])
+        csr = CsrMatrix.from_dense(dense)
+        cols, vals = csr.row(1)
+        assert list(cols) == [0, 2]
+        assert list(vals) == [1.0, 2.0]
+
+    def test_row_out_of_range(self):
+        csr = CsrMatrix.from_dense(np.eye(3))
+        with pytest.raises(ShapeError):
+            csr.row(7)
+
+    def test_row_nnz(self):
+        dense = np.array([[0.0, 5.0, 0.0], [1.0, 0.0, 2.0]])
+        csr = CsrMatrix.from_dense(dense)
+        assert list(csr.row_nnz()) == [1, 2]
+
+    def test_matmul_dense_matches_numpy(self):
+        a = _random_dense(3, (10, 6))
+        b = np.random.default_rng(4).uniform(size=(6, 5))
+        csr = CsrMatrix.from_dense(a)
+        assert np.allclose(csr.matmul_dense(b), a @ b)
+
+    def test_matmul_csr_matches_numpy(self):
+        a = _random_dense(5, (8, 6))
+        b = _random_dense(6, (6, 7))
+        product = CsrMatrix.from_dense(a).matmul_csr(CsrMatrix.from_dense(b))
+        assert np.allclose(product.to_dense(), a @ b)
+
+    def test_matmul_shape_mismatch(self):
+        csr = CsrMatrix.from_dense(np.eye(3))
+        with pytest.raises(ShapeError):
+            csr.matmul_dense(np.zeros((4, 2)))
+
+    def test_transpose(self):
+        dense = _random_dense(7, (5, 9))
+        assert np.allclose(CsrMatrix.from_dense(dense).transpose().to_dense(), dense.T)
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(FormatError):
+            CsrMatrix(
+                shape=(2, 2),
+                indptr=np.array([0, 1]),
+                indices=np.array([0]),
+                values=np.array([1.0]),
+            )
+
+    def test_footprint_accounts_for_indices(self):
+        dense = _random_dense(8)
+        csr = CsrMatrix.from_dense(dense)
+        expected = csr.nnz * (2 + 4) + (dense.shape[0] + 1) * 4
+        assert csr.footprint_bytes() == expected
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_property(self, seed):
+        dense = _random_dense(seed, (7, 11), density=0.4)
+        assert np.allclose(CsrMatrix.from_dense(dense).to_dense(), dense)

@@ -1,0 +1,127 @@
+"""Tests for the GPU config and the inner/outer-product Tensor Core models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.hw.config import GpuConfig, V100_CONFIG
+from repro.hw.otc import OuterProductTensorCore, OuterProductTensorCorePair
+from repro.hw.sparse_tc import a100_sparse_tensor_core, vector_wise_sparse_tensor_core
+from repro.hw.tensor_core import InnerProductTensorCore
+
+
+class TestGpuConfig:
+    def test_v100_totals(self):
+        assert V100_CONFIG.total_tensor_cores == 640
+        assert V100_CONFIG.tensor_macs_per_cycle == 40960
+        assert V100_CONFIG.cuda_fma_per_cycle == 5120
+        assert V100_CONFIG.ohmma_slots_per_cycle == 320
+
+    def test_v100_peak_tflops(self):
+        assert V100_CONFIG.tensor_peak_tflops == pytest.approx(125.3, abs=0.5)
+
+    def test_cycles_to_us(self):
+        assert V100_CONFIG.cycles_to_us(1530) == pytest.approx(1.0)
+
+    def test_bytes_per_cycle(self):
+        assert V100_CONFIG.dram_bytes_per_cycle == pytest.approx(900 / 1.53)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigError):
+            GpuConfig(num_sms=0)
+        with pytest.raises(ConfigError):
+            GpuConfig(clock_ghz=-1)
+
+
+class TestInnerProductTensorCore:
+    def test_macs_per_cycle(self):
+        assert InnerProductTensorCore().macs_per_cycle == 64
+
+    def test_execute_matches_numpy(self, rng):
+        core = InnerProductTensorCore()
+        a = rng.uniform(size=(4, 4))
+        b = rng.uniform(size=(4, 4))
+        c = rng.uniform(size=(4, 4))
+        assert np.allclose(core.execute(a, b, c), a @ b + c)
+
+    def test_fedp(self):
+        core = InnerProductTensorCore()
+        assert core.fedp([1, 2, 3, 4], [1, 1, 1, 1], 10) == 20
+
+    def test_fedp_shape_check(self):
+        with pytest.raises(ShapeError):
+            InnerProductTensorCore().fedp([1, 2], [1, 2])
+
+    def test_execute_shape_check(self):
+        with pytest.raises(ShapeError):
+            InnerProductTensorCore().execute(np.zeros((4, 5)), np.zeros((5, 4)))
+
+    def test_cycles_for_macs(self):
+        core = InnerProductTensorCore()
+        assert core.cycles_for_macs(0) == 0
+        assert core.cycles_for_macs(64) == 1 + 3
+        assert core.cycles_for_macs(65) == 2 + 3
+
+
+class TestOuterProductTensorCore:
+    def test_same_multiplier_budget_as_inner_product(self):
+        """The OTC keeps the stock Tensor Core's 64 multipliers (Section V-A)."""
+        assert OuterProductTensorCore().macs_per_cycle == InnerProductTensorCore().macs_per_cycle
+
+    def test_execute_matches_numpy_outer(self, rng):
+        core = OuterProductTensorCore()
+        a = rng.uniform(size=8)
+        b = rng.uniform(size=8)
+        assert np.allclose(core.execute(a, b), np.outer(a, b))
+
+    def test_feop(self):
+        core = OuterProductTensorCore()
+        assert np.allclose(core.feop(2.0, np.ones(4)), [2, 2, 2, 2])
+
+    def test_execute_shape_check(self):
+        with pytest.raises(ShapeError):
+            OuterProductTensorCore().execute(np.zeros(4), np.zeros(8))
+
+    def test_pair_ohmma_matches_numpy(self, rng):
+        pair = OuterProductTensorCorePair()
+        a = rng.uniform(size=8)
+        b = rng.uniform(size=16)
+        acc = rng.uniform(size=(8, 16))
+        assert np.allclose(pair.execute_ohmma(a, b, acc), np.outer(a, b) + acc)
+
+    def test_pair_bohmma(self):
+        pair = OuterProductTensorCorePair()
+        a = np.zeros(32, dtype=bool)
+        b = np.zeros(32, dtype=bool)
+        a[3] = b[5] = True
+        out = pair.execute_bohmma(a, b)
+        assert out[3, 5] and out.sum() == 1
+
+    def test_owmma_cycles_match_wmma(self):
+        assert OuterProductTensorCorePair().owmma_cycles(16) == 32
+
+
+class TestSingleSideSparseTensorCores:
+    def test_vector_wise_calibrated_to_paper_speedup(self):
+        hardware = vector_wise_sparse_tensor_core()
+        assert hardware.speedup_over_dense(0.75) == pytest.approx(1.86, abs=0.01)
+
+    def test_vector_wise_cannot_exceed_75_percent(self):
+        hardware = vector_wise_sparse_tensor_core()
+        assert hardware.exploited_sparsity(0.95) == 0.75
+        assert hardware.speedup_over_dense(0.95) == hardware.speedup_over_dense(0.75)
+
+    def test_vector_wise_low_sparsity_gives_little(self):
+        hardware = vector_wise_sparse_tensor_core()
+        assert hardware.exploited_sparsity(0.2) == 0.0
+        assert hardware.speedup_over_dense(0.2) < 1.0
+
+    def test_a100_exploits_only_half(self):
+        hardware = a100_sparse_tensor_core()
+        assert hardware.exploited_sparsity(0.9) == 0.5
+        assert 1.0 < hardware.speedup_over_dense(0.9) <= 2.0
+
+    def test_speedup_monotone_in_sparsity(self):
+        hardware = vector_wise_sparse_tensor_core()
+        speedups = [hardware.speedup_over_dense(s) for s in (0.1, 0.3, 0.6, 0.8)]
+        assert speedups == sorted(speedups)

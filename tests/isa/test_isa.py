@@ -1,0 +1,120 @@
+"""Tests for the ISA layer: instructions, streams and macro-op expansion."""
+
+import numpy as np
+import pytest
+
+from repro.core.spgemm_warp import WarpTileConfig, warp_spgemm
+from repro.errors import SimulationError
+from repro.isa.instructions import DEFAULT_ISSUE_CYCLES, Instruction, Opcode, PredicateRegisterFile
+from repro.isa.program import InstructionStream
+from repro.isa.wmma import expand_owmma, expand_spwmma, expand_wmma
+from repro.sparsity.generators import random_sparse_matrix
+
+
+class TestInstruction:
+    def test_render_plain(self):
+        instr = Instruction(Opcode.BOHMMA_32321, ("R3",), ("R1", "R2"))
+        assert "HMMA.BOHMMA.32321" in instr.render()
+        assert instr.render().endswith(";")
+
+    def test_render_with_predicate(self):
+        instr = Instruction(Opcode.OHMMA_8161, ("R8",), ("R4", "R5"), predicate=3)
+        assert instr.render().startswith("@p3 ")
+
+    def test_issue_cycles_defined_for_all_opcodes(self):
+        for opcode in Opcode:
+            assert opcode in DEFAULT_ISSUE_CYCLES
+
+
+class TestPredicateRegisterFile:
+    def test_set_and_get(self):
+        predicates = PredicateRegisterFile(4)
+        predicates.set(2, True)
+        assert predicates.get(2) is True
+        assert predicates.as_tuple() == (False, False, True, False)
+
+    def test_out_of_range(self):
+        predicates = PredicateRegisterFile(4)
+        with pytest.raises(SimulationError):
+            predicates.get(9)
+
+    def test_rejects_empty_file(self):
+        with pytest.raises(SimulationError):
+            PredicateRegisterFile(0)
+
+
+class TestInstructionStream:
+    def test_append_extend_len(self):
+        stream = InstructionStream()
+        stream.append(Instruction(Opcode.POPC))
+        stream.extend([Instruction(Opcode.OHMMA_8161), Instruction(Opcode.OHMMA_8161)])
+        assert len(stream) == 3
+        assert stream.count(Opcode.OHMMA_8161) == 2
+        assert stream.count_by_opcode()[Opcode.POPC] == 1
+
+    def test_disassemble_lines(self):
+        stream = InstructionStream([Instruction(Opcode.POPC), Instruction(Opcode.LDG)])
+        assert len(stream.disassemble().splitlines()) == 2
+
+
+class TestWmmaExpansions:
+    def test_wmma_has_16_hmma(self):
+        stream = expand_wmma()
+        assert stream.count(Opcode.HMMA_884) == 16
+
+    def test_owmma_has_32_ohmma(self):
+        stream = expand_owmma()
+        assert stream.count(Opcode.OHMMA_8161) == 32
+
+    def test_owmma_and_wmma_same_cycle_budget(self):
+        """Both warp-level ops take 32 cycles on their respective cores."""
+        wmma_cycles = expand_wmma().count(Opcode.HMMA_884) * DEFAULT_ISSUE_CYCLES[Opcode.HMMA_884]
+        owmma_cycles = (
+            expand_owmma().count(Opcode.OHMMA_8161) * DEFAULT_ISSUE_CYCLES[Opcode.OHMMA_8161]
+        )
+        assert wmma_cycles == owmma_cycles == 32
+
+
+class TestSpWmmaExpansion:
+    def test_dense_masks_enable_all_ohmma(self):
+        config = WarpTileConfig()
+        expansion = expand_spwmma(
+            np.ones((32, 16), dtype=bool), np.ones((16, 32), dtype=bool), config
+        )
+        assert expansion.ohmma_enabled == 16 * 8
+        assert expansion.ohmma_skipped == 0
+        assert expansion.sets_skipped == 0
+        assert expansion.stream.count(Opcode.BOHMMA_32321) == 16
+        assert expansion.stream.count(Opcode.POPC) == 32
+
+    def test_empty_masks_skip_everything(self):
+        expansion = expand_spwmma(
+            np.zeros((32, 16), dtype=bool), np.zeros((16, 32), dtype=bool)
+        )
+        assert expansion.ohmma_enabled == 0
+        assert expansion.sets_skipped == 16
+        assert expansion.stream.count(Opcode.BOHMMA_32321) == 0
+
+    def test_matches_warp_spgemm_counts(self, rng):
+        a_tile = random_sparse_matrix((32, 16), 0.35, rng)
+        b_tile = random_sparse_matrix((16, 32), 0.55, rng)
+        _, stats = warp_spgemm(a_tile, b_tile)
+        expansion = expand_spwmma(a_tile != 0, b_tile != 0)
+        assert expansion.ohmma_enabled == stats.ohmma_issued
+        assert expansion.ohmma_skipped == stats.ohmma_skipped
+        assert expansion.sets_skipped == stats.sets_skipped
+
+    def test_predicates_written_per_slot(self, rng):
+        a_tile = random_sparse_matrix((32, 16), 0.5, rng)
+        b_tile = random_sparse_matrix((16, 32), 0.5, rng)
+        expansion = expand_spwmma(a_tile != 0, b_tile != 0)
+        ohmma = [i for i in expansion.stream if i.opcode is Opcode.OHMMA_8161]
+        assert all(instr.predicate is not None for instr in ohmma)
+        enabled = sum(1 for instr in ohmma if instr.payload["enabled"])
+        assert enabled == expansion.ohmma_enabled
+
+    def test_shape_mismatch_rejected(self):
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            expand_spwmma(np.ones((32, 16), dtype=bool), np.ones((8, 32), dtype=bool))

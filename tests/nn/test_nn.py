@@ -1,0 +1,149 @@
+"""Tests for the DNN substrate: layers, model database and inference driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.reference import reference_conv2d
+from repro.errors import ConfigError, ShapeError
+from repro.kernels.conv_methods import ConvMethod, GemmMethod
+from repro.nn.activations import measure_activation_sparsity, relu
+from repro.nn.inference import ModelEvaluator
+from repro.nn.layers import Conv2dLayer, LinearLayer, LstmLayer
+from repro.nn.models import MODEL_REGISTRY, get_model
+from repro.sparsity.generators import random_sparse_matrix
+
+
+class TestActivations:
+    def test_relu(self):
+        assert np.array_equal(relu(np.array([-2.0, 3.0])), [0.0, 3.0])
+
+    def test_measure_sparsity(self):
+        assert measure_activation_sparsity(np.array([0.0, 1.0, 0.0, 2.0])) == 0.5
+        assert measure_activation_sparsity(np.array([])) == 0.0
+
+
+class TestLayers:
+    def test_conv_layer_forward_matches_reference(self, rng):
+        weights = random_sparse_matrix((4, 3 * 9), 0.4, rng).reshape(4, 3, 3, 3)
+        layer = Conv2dLayer("conv", weights, stride=1, padding=1, apply_relu=False)
+        fm = random_sparse_matrix((3 * 8, 8), 0.5, rng).reshape(3, 8, 8)
+        assert np.allclose(layer.forward(fm), reference_conv2d(fm, weights, 1, 1))
+
+    def test_conv_layer_relu_applied(self, rng):
+        weights = rng.standard_normal((2, 2, 3, 3))
+        layer = Conv2dLayer("conv", weights, padding=1)
+        fm = rng.standard_normal((2, 6, 6))
+        assert np.all(layer.forward(fm) >= 0)
+
+    def test_conv_layer_to_spec(self, rng):
+        weights = random_sparse_matrix((8, 4 * 9), 0.25, rng).reshape(8, 4, 3, 3)
+        layer = Conv2dLayer("conv", weights, stride=2, padding=1)
+        spec = layer.to_spec(height=16, width=16, activation_sparsity=0.5)
+        assert spec.in_channels == 4 and spec.out_channels == 8
+        assert spec.stride == 2
+        assert spec.weight_sparsity == pytest.approx(0.75, abs=0.05)
+
+    def test_conv_layer_rejects_bad_weights(self):
+        with pytest.raises(ShapeError):
+            Conv2dLayer("conv", np.zeros((4, 3, 3)))
+
+    def test_linear_layer_forward(self, rng):
+        weights = random_sparse_matrix((12, 6), 0.5, rng)
+        layer = LinearLayer("fc", weights, apply_relu=False)
+        activations = random_sparse_matrix((8, 12), 0.5, rng)
+        assert np.allclose(layer.forward(activations), activations @ weights)
+
+    def test_linear_layer_shape_check(self, rng):
+        layer = LinearLayer("fc", np.zeros((12, 6)))
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((8, 10)))
+
+    def test_linear_layer_to_spec(self):
+        layer = LinearLayer("fc", np.eye(16))
+        spec = layer.to_spec(batch_rows=32, activation_sparsity=0.2)
+        assert (spec.m, spec.k, spec.n) == (32, 16, 16)
+        assert spec.weight_sparsity == pytest.approx(1.0 - 1.0 / 16)
+
+    def test_lstm_gate_gemm_spec(self):
+        layer = LstmLayer("lstm", input_size=256, hidden_size=512, weight_sparsity=0.9)
+        spec = layer.gate_gemm_spec(batch=4, seq_len=10, activation_sparsity=0.0)
+        assert (spec.m, spec.k, spec.n) == (40, 768, 2048)
+        assert spec.weight_sparsity == 0.9
+
+
+class TestModelDatabase:
+    def test_registry_has_all_five_models(self):
+        assert set(MODEL_REGISTRY) == {
+            "VGG-16",
+            "ResNet-18",
+            "Mask R-CNN",
+            "BERT-base Encoder",
+            "RNN",
+        }
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ConfigError):
+            get_model("AlexNet")
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_models_are_well_formed(self, name):
+        model = get_model(name)
+        assert model.kind in ("cnn", "gemm")
+        assert len(model.layers) >= 6
+        assert 0.0 <= model.mean_weight_sparsity <= 1.0
+        assert 0.0 <= model.mean_activation_sparsity <= 1.0
+
+    def test_cnn_models_have_conv_layers_only(self):
+        assert get_model("VGG-16").kind == "cnn"
+        assert len(get_model("VGG-16").gemm_layers) == 0
+        assert len(get_model("VGG-16").conv_layers) == 13
+
+    def test_nlp_models_have_high_weight_sparsity_and_dense_activations(self):
+        for name in ("BERT-base Encoder", "RNN"):
+            model = get_model(name)
+            assert model.mean_weight_sparsity > 0.85
+            assert model.mean_activation_sparsity == 0.0
+
+    def test_vgg16_layer_count_matches_architecture(self):
+        names = [layer.name for layer in get_model("VGG-16").conv_layers]
+        assert names[0] == "conv1-1" and names[-1] == "conv5-3"
+
+
+class TestModelEvaluator:
+    def test_conv_layer_result_has_five_methods(self):
+        evaluator = ModelEvaluator()
+        spec = get_model("ResNet-18").conv_layers[5]
+        result = evaluator.evaluate_conv_layer(spec)
+        assert len(result.estimates) == 5
+        assert result.speedup(ConvMethod.DENSE_IMPLICIT) == 1.0
+
+    def test_gemm_layer_result_has_three_methods(self):
+        evaluator = ModelEvaluator()
+        spec = get_model("BERT-base Encoder").gemm_layers[0]
+        result = evaluator.evaluate_gemm_layer(spec, weight_pattern="uniform")
+        assert len(result.estimates) == 3
+        assert result.speedup(GemmMethod.DENSE) == 1.0
+
+    def test_blocked_pattern_beats_uniform_expectation(self):
+        """Clustered weight pruning unlocks warp-tile skipping (Section VI-D)."""
+        evaluator = ModelEvaluator(seed=3)
+        spec = get_model("RNN").gemm_layers[0]
+        blocked = evaluator.evaluate_gemm_layer(spec, weight_pattern="blocked")
+        uniform = evaluator.evaluate_gemm_layer(spec, weight_pattern="uniform")
+        assert blocked.speedup(GemmMethod.DUAL_SPARSE) > uniform.speedup(
+            GemmMethod.DUAL_SPARSE
+        )
+
+    def test_full_model_evaluation_resnet(self):
+        result = ModelEvaluator().evaluate(get_model("ResNet-18"))
+        summary = result.summary()
+        assert summary[ConvMethod.DENSE_IMPLICIT] == pytest.approx(1.0)
+        assert summary[ConvMethod.DUAL_SPARSE_IMPLICIT] > summary[
+            ConvMethod.SINGLE_SPARSE_IMPLICIT
+        ] > 1.0
+        assert len(result.layer_results) == 17
+
+    def test_full_model_evaluation_bert(self):
+        result = ModelEvaluator().evaluate(get_model("BERT-base Encoder"))
+        summary = result.summary()
+        assert summary[GemmMethod.DUAL_SPARSE] > summary[GemmMethod.SINGLE_SPARSE] > 1.0
