@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Smoke-test CI: the tier-1 test suite plus a doctest pass over the
+# README quickstart snippets.  Run from anywhere; no arguments.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+echo "== README quickstart doctests =="
+python -m pytest -q --doctest-glob=README.md README.md
+
+echo "CI OK"

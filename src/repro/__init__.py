@@ -30,6 +30,7 @@ from repro.core.api import (
     SpGemmResult,
     SpConvResult,
     spgemm,
+    spgemm_batched,
     spconv,
     sparse_im2col,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "SpGemmResult",
     "SpConvResult",
     "spgemm",
+    "spgemm_batched",
     "spconv",
     "sparse_im2col",
     "ReproError",

@@ -11,6 +11,8 @@ Modules:
   (Figure 5).
 * :mod:`repro.core.spgemm_device` — device-level tiled SpGEMM using the
   two-level bitmap (Figures 8 and 9).
+* :mod:`repro.core.engine` — the NumPy-vectorized functional execution
+  engine behind the default ``backend="vectorized"`` path.
 * :mod:`repro.core.im2col_dense` / ``im2col_outer`` / ``im2col_csr`` /
   ``im2col_bitmap`` — the four im2col variants compared in Table III and
   Figure 10/11.
@@ -23,6 +25,7 @@ from repro.core.api import (
     SpGemmResult,
     SpConvResult,
     spgemm,
+    spgemm_batched,
     spconv,
     sparse_im2col,
 )
@@ -32,6 +35,7 @@ __all__ = [
     "SpGemmResult",
     "SpConvResult",
     "spgemm",
+    "spgemm_batched",
     "spconv",
     "sparse_im2col",
 ]

@@ -6,8 +6,15 @@ These are the entry points a downstream user is expected to call:
   constructors and statistics,
 * :func:`spgemm` — dual-side sparse matrix multiplication (numerically
   exact, with instruction-level statistics),
+* :func:`spgemm_batched` — the same over a whole batch of operand pairs
+  in one call,
 * :func:`sparse_im2col` — the bitmap-based implicit sparse im2col, and
 * :func:`spconv` — dual-side sparse convolution.
+
+All functional entry points accept ``backend="vectorized"`` (the default
+NumPy engine, :mod:`repro.core.engine`) or ``backend="reference"`` (the
+original per-warp-tile Python loop, kept as a cross-check oracle).  Both
+backends produce identical numerics and identical statistics.
 
 For latency estimates on a modelled V100-class GPU, see
 :mod:`repro.kernels` (per-method cost models) and
@@ -133,6 +140,7 @@ def spgemm(
     a: "SparseMatrix | np.ndarray",
     b: "SparseMatrix | np.ndarray",
     config: WarpTileConfig | None = None,
+    backend: str = "vectorized",
 ) -> SpGemmResult:
     """Dual-side sparse matrix multiplication ``a @ b``.
 
@@ -145,6 +153,8 @@ def spgemm(
             :class:`SparseMatrix`.
         b: right operand (K x N); encode with ``order="row"``.
         config: warp-tile geometry; defaults to the paper's 32x32x16.
+        backend: ``"vectorized"`` (default) for the NumPy engine,
+            ``"reference"`` for the original Python tile loop.
     """
     dense_a = _as_dense(a, "a")
     dense_b = _as_dense(b, "b")
@@ -152,8 +162,45 @@ def spgemm(
         raise ShapeError(
             f"inner dimensions differ: {dense_a.shape} @ {dense_b.shape}"
         )
-    result = device_spgemm(dense_a, dense_b, config=config)
+    result = device_spgemm(dense_a, dense_b, config=config, backend=backend)
     return SpGemmResult(dense=result.output, stats=result.stats)
+
+
+def spgemm_batched(
+    a_batch,
+    b_batch=None,
+    config: WarpTileConfig | None = None,
+    backend: str = "vectorized",
+) -> list[SpGemmResult]:
+    """Run a whole batch of dual-side sparse GEMMs in one call.
+
+    Accepts either two stacked 3-D arrays (``a_batch[i] @ b_batch[i]``)
+    or a single sequence of ``(a, b)`` pairs (each entry a 2-D array or
+    :class:`SparseMatrix`).  Shapes may differ between pairs — e.g. the
+    per-layer GEMMs of a whole model.
+
+    Args:
+        a_batch: (B, M, K) array, or sequence of ``(a, b)`` pairs when
+            ``b_batch`` is omitted.
+        b_batch: (B, K, N) array or sequence of right operands.
+        config: warp-tile geometry shared by the whole batch.
+        backend: forwarded to :func:`spgemm`.
+
+    Returns:
+        One :class:`SpGemmResult` per pair, in batch order.
+    """
+    if b_batch is None:
+        pairs = [(a, b) for a, b in a_batch]
+    else:
+        a_seq = list(a_batch)
+        b_seq = list(b_batch)
+        if len(a_seq) != len(b_seq):
+            raise ShapeError(
+                f"batch lengths differ: {len(a_seq)} left operands vs "
+                f"{len(b_seq)} right operands"
+            )
+        pairs = list(zip(a_seq, b_seq))
+    return [spgemm(a, b, config=config, backend=backend) for a, b in pairs]
 
 
 def sparse_im2col(
@@ -176,6 +223,7 @@ def spconv(
     stride: int = 1,
     padding: int = 0,
     config: WarpTileConfig | None = None,
+    backend: str = "vectorized",
 ) -> SpConvResult:
     """Dual-side sparse convolution (sparse im2col + outer-product SpGEMM).
 
@@ -185,8 +233,15 @@ def spconv(
         stride: spatial stride.
         padding: symmetric zero padding.
         config: warp-tile geometry forwarded to the SpGEMM stage.
+        backend: SpGEMM execution backend — ``"vectorized"`` (default) or
+            ``"reference"``.
     """
     result = sparse_conv2d(
-        feature_map, weights, stride=stride, padding=padding, config=config
+        feature_map,
+        weights,
+        stride=stride,
+        padding=padding,
+        config=config,
+        backend=backend,
     )
     return SpConvResult(output=result.output, stats=result.stats)

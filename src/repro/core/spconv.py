@@ -61,6 +61,7 @@ def sparse_conv2d(
     stride: int = 1,
     padding: int = 0,
     config: WarpTileConfig | None = None,
+    backend: str = "vectorized",
 ) -> SparseConvResult:
     """Dual-side sparse convolution via bitmap im2col + outer-product SpGEMM.
 
@@ -70,6 +71,8 @@ def sparse_conv2d(
         stride: spatial stride.
         padding: symmetric zero padding.
         config: warp tile geometry forwarded to the SpGEMM.
+        backend: SpGEMM execution backend — ``"vectorized"`` (default) or
+            ``"reference"`` (the original Python tile loop).
 
     Returns:
         The (N, OH, OW) output feature map plus pipeline statistics.  The
@@ -92,7 +95,9 @@ def sparse_conv2d(
 
     im2col_result = bitmap_im2col(feature_map, kernel, stride, padding)
     flat_weights = flatten_weights(weights)
-    gemm_result = device_spgemm(im2col_result.lowered, flat_weights, config=config)
+    gemm_result = device_spgemm(
+        im2col_result.lowered, flat_weights, config=config, backend=backend
+    )
 
     n_filters = weights.shape[0]
     output = (

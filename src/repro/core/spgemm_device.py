@@ -7,15 +7,20 @@ warp-level SpGEMM of :mod:`repro.core.spgemm_warp`.  The two-level bitmap
 adds a warp-bit per input tile so a pair in which either tile is entirely
 empty is skipped without issuing a single instruction.
 
-Two execution paths are provided:
+Three execution paths are provided:
 
-* :func:`device_spgemm` — the functional path.  It produces the numeric
-  result and exact statistics; intended for matrices up to a few thousand
-  elements per side (it loops over warp tiles in Python).
+* :func:`device_spgemm` with ``backend="vectorized"`` (the default) — the
+  functional path.  It produces the numeric result and exact statistics
+  via the NumPy-vectorized engine of :mod:`repro.core.engine`, and scales
+  to large (Figure 21/22-sized) workloads.
+* :func:`device_spgemm` with ``backend="reference"`` — the original
+  per-warp-tile Python loop, kept as the oracle the engine is
+  cross-checked against (``tests/core/test_engine.py``) and as the only
+  path able to replay accumulation-buffer access positions.
 * :func:`count_device_instructions` — the exact *counting* path.  It
-  computes the same instruction counts with vectorised NumPy reductions
-  without materialising any partial product, so it scales to the
-  4096x4096x4096 GEMMs of Figure 21.  The two paths are cross-checked in
+  computes instruction counts with vectorised NumPy reductions without
+  materialising the product at all, so it stays the cheapest option when
+  only counts are needed.  Cross-checked in
   ``tests/core/test_spgemm_device.py``.
 """
 
@@ -26,7 +31,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.spgemm_warp import WarpStats, WarpTileConfig, warp_spgemm
-from repro.errors import ShapeError
+from repro.errors import ConfigError, ShapeError
 from repro.formats.bitmap import BitmapMatrix
 from repro.formats.hierarchical import TwoLevelBitmapMatrix
 from repro.utils.tiling import ceil_div, num_tiles, tile_ranges
@@ -78,12 +83,17 @@ class DeviceSpGemmResult:
     stats: DeviceStats
 
 
+#: Valid ``backend=`` values of :func:`device_spgemm`.
+BACKENDS = ("vectorized", "reference")
+
+
 def device_spgemm(
     a: np.ndarray,
     b: np.ndarray,
     config: WarpTileConfig | None = None,
     element_bytes: int = 2,
     collect_positions: bool = False,
+    backend: str = "vectorized",
 ) -> DeviceSpGemmResult:
     """Functional device-level SpGEMM.
 
@@ -93,12 +103,27 @@ def device_spgemm(
         config: warp tile geometry (defaults to the paper's 32x32x16).
         element_bytes: operand element width used for traffic accounting.
         collect_positions: record accumulation-buffer access positions
-            (slow; only for small, hardware-replayed cases).
+            (slow; only for small, hardware-replayed cases — forces the
+            ``"reference"`` backend).
+        backend: ``"vectorized"`` (default) runs the NumPy engine of
+            :mod:`repro.core.engine`; ``"reference"`` runs the original
+            per-warp-tile Python loop.  Both return identical numeric
+            output and identical statistics.
 
     Returns:
         The product ``a @ b`` plus the statistics needed by the cost
         models.
     """
+    if backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown backend {backend!r}; available: {list(BACKENDS)}"
+        )
+    if backend == "vectorized" and not collect_positions:
+        from repro.core.engine import vectorized_device_spgemm
+
+        return vectorized_device_spgemm(
+            a, b, config=config, element_bytes=element_bytes
+        )
     config = config or WarpTileConfig()
     a = check_2d(a, "a")
     b = check_2d(b, "b")
@@ -188,17 +213,6 @@ class InstructionCounts:
         return self.ohmma_dense / self.ohmma_issued
 
 
-def _pad_to_tiles(matrix: np.ndarray, tile_rows: int, tile_cols: int) -> np.ndarray:
-    """Zero-pad a matrix so both dimensions are tile multiples."""
-    rows = ceil_div(matrix.shape[0], tile_rows) * tile_rows
-    cols = ceil_div(matrix.shape[1], tile_cols) * tile_cols
-    if (rows, cols) == matrix.shape:
-        return matrix
-    padded = np.zeros((rows, cols), dtype=matrix.dtype)
-    padded[: matrix.shape[0], : matrix.shape[1]] = matrix
-    return padded
-
-
 def count_device_instructions(
     a: np.ndarray,
     b: np.ndarray,
@@ -212,8 +226,13 @@ def count_device_instructions(
     ``(sum over row tiles of ceil(nnz_A_tilecol / 8)) x (sum over column
     tiles of ceil(nnz_B_tilerow / 16))``, so the total is a single sum
     over k of a product of per-k reductions — no loop over output tiles
-    is needed.
+    is needed.  The per-segment reductions are shared with the vectorized
+    execution engine (:mod:`repro.core.engine`); this path additionally
+    pads edge k-tiles to full size, matching the hardware's padded
+    execution.
     """
+    from repro.core.engine import _segment_nnz
+
     config = config or WarpTileConfig()
     a = check_2d(a, "a")
     b = check_2d(b, "b")
@@ -222,24 +241,18 @@ def count_device_instructions(
     m_dim, k_dim = a.shape
     n_dim = b.shape[1]
 
-    a_mask = _pad_to_tiles(a != 0, config.tm, config.tk)
-    b_mask = _pad_to_tiles(b != 0, config.tk, config.tn)
-    padded_k = a_mask.shape[1]
+    # nnz of each (row tile, k) column segment of A: shape (row_tiles, K),
+    # and of each (k, col tile) row segment of B: shape (K, col_tiles).
+    a_seg_nnz = _segment_nnz(a != 0, config.tm, axis=0)
+    b_seg_nnz = _segment_nnz(b != 0, config.tn, axis=1)
+    n_row_tiles = a_seg_nnz.shape[0]
+    n_col_tiles = b_seg_nnz.shape[1]
+    n_k_tiles = ceil_div(k_dim, config.tk)
+    padded_k = n_k_tiles * config.tk
 
-    n_row_tiles = a_mask.shape[0] // config.tm
-    n_col_tiles = b_mask.shape[1] // config.tn
-    n_k_tiles = padded_k // config.tk
-
-    # nnz of each (row tile, k) column segment of A: shape (row_tiles, K).
-    a_seg_nnz = a_mask.reshape(n_row_tiles, config.tm, padded_k).sum(axis=1)
-    # nnz of each (k, col tile) row segment of B: shape (K, col_tiles).
-    b_seg_nnz = (
-        b_mask.reshape(padded_k, n_col_tiles, config.tn).sum(axis=2)
-    )
-
-    # Quantised OHMMA group counts per segment.
-    a_groups = np.ceil(a_seg_nnz / config.ohmma_m).astype(np.int64)
-    b_groups = np.ceil(b_seg_nnz / config.ohmma_n).astype(np.int64)
+    # Quantised OHMMA group counts per segment (zero nnz -> zero groups).
+    a_groups = (a_seg_nnz + config.ohmma_m - 1) // config.ohmma_m
+    b_groups = (b_seg_nnz + config.ohmma_n - 1) // config.ohmma_n
 
     # OHMMA issued = sum_k (sum_i a_groups[i,k]) * (sum_j b_groups[k,j]).
     ohmma_issued = int(np.sum(a_groups.sum(axis=0) * b_groups.sum(axis=1)))
@@ -251,10 +264,8 @@ def count_device_instructions(
     active_sets = int(np.sum(a_nonempty * b_nonempty))
 
     # Warp-tile occupancy for the two-level bitmap skip.
-    a_tile_nnz = a_seg_nnz.reshape(n_row_tiles, n_k_tiles, config.tk).sum(axis=2)
-    b_tile_nnz = b_seg_nnz.reshape(n_k_tiles, config.tk, n_col_tiles).sum(axis=1)
-    a_tile_occupied = a_tile_nnz > 0
-    b_tile_occupied = b_tile_nnz > 0
+    a_tile_occupied = _segment_nnz(a_seg_nnz, config.tk, axis=1) > 0
+    b_tile_occupied = _segment_nnz(b_seg_nnz, config.tk, axis=0) > 0
     pairs_total = n_row_tiles * n_col_tiles * n_k_tiles
     # For each k tile, every occupied A row tile pairs with every occupied
     # B column tile; all other pairs are skipped by the warp-bitmap.
@@ -273,7 +284,7 @@ def count_device_instructions(
 
     # Useful MACs and merge accesses: every non-zero partial product is
     # one MAC and one gather+accumulate+scatter.
-    macs = int(np.sum(a_seg_nnz.sum(axis=0).astype(np.int64) * b_seg_nnz.sum(axis=1)))
+    macs = int(np.sum(a_seg_nnz.sum(axis=0) * b_seg_nnz.sum(axis=1)))
 
     a_nnz = int(np.count_nonzero(a))
     b_nnz = int(np.count_nonzero(b))

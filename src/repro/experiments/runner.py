@@ -15,6 +15,7 @@ import argparse
 import sys
 
 from repro.experiments.fig5_warp_skipping import run_fig5
+from repro.experiments.functional_models import run_functional_models
 from repro.experiments.fig6_tiling_speedup import run_fig6
 from repro.experiments.fig19_operand_collector import run_fig19
 from repro.experiments.fig21_spgemm import run_fig21
@@ -37,6 +38,9 @@ def _build_registry(quick: bool):
         "fig21": lambda: run_fig21(size=1024 if quick else 4096),
         "fig22": lambda: run_fig22(
             models=("ResNet-18", "BERT-base Encoder") if quick else None
+        ),
+        "functional": lambda: run_functional_models(
+            scale=0.0625 if quick else 0.125
         ),
     }
 

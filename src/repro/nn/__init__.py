@@ -10,11 +10,19 @@ layer implementations for the small-scale numeric examples.
 
 from repro.nn.layers import Conv2dLayer, LinearLayer, LstmLayer
 from repro.nn.activations import relu, measure_activation_sparsity
+from repro.nn.functional import (
+    FunctionalLayerRun,
+    FunctionalModelRun,
+    run_model_functional,
+)
 from repro.nn.inference import ModelEvaluator, LayerResult, ModelResult
 from repro.nn.models import MODEL_REGISTRY, get_model
 
 __all__ = [
     "Conv2dLayer",
+    "FunctionalLayerRun",
+    "FunctionalModelRun",
+    "run_model_functional",
     "LinearLayer",
     "LstmLayer",
     "relu",

@@ -1,0 +1,210 @@
+"""Whole-model functional runs through the vectorized SpGEMM engine.
+
+The model database (:mod:`repro.nn.models`) describes each network as a
+list of layer specs with the sparsities the paper's pruning setup
+produces.  :func:`run_model_functional` materialises synthetic operands
+for every spec and pushes the whole model through the *functional*
+dual-side pipeline in one call — sparse im2col + outer-product SpGEMM
+for CNN layers, transposed-GEMM SpGEMM for the BERT / RNN layers —
+returning per-layer :class:`~repro.core.spgemm_device.DeviceStats`.
+
+With the reference Python loop such runs were restricted to toy sizes;
+the vectorized engine (:mod:`repro.core.engine`) makes Figure 22-scale
+functional sweeps practical.  The ``scale`` knob shrinks spatial
+(CNN) / batch-row (GEMM) dimensions for quick smoke runs; weight shapes
+and sparsity patterns are never scaled, so the instruction statistics
+remain representative of the pruned model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.spconv import sparse_conv2d
+from repro.core.spgemm_device import DeviceStats, device_spgemm
+from repro.core.spgemm_warp import WarpTileConfig
+from repro.errors import ConfigError
+from repro.kernels.layer_spec import ConvLayerSpec, GemmLayerSpec
+from repro.nn.models import ModelDefinition, get_model
+from repro.pruning.movement import block_movement_prune
+from repro.sparsity.generators import random_sparse_matrix
+
+
+@dataclass(frozen=True)
+class FunctionalLayerRun:
+    """Functional execution record of one model layer.
+
+    Attributes:
+        layer: layer name from the model database.
+        kind: ``"conv"`` or ``"gemm"``.
+        gemm_shape: (M, K, N) of the executed (possibly scaled) GEMM.
+        weight_sparsity: measured zero fraction of the generated weights.
+        activation_sparsity: measured zero fraction of the activations.
+        stats: device-level statistics of the SpGEMM stage.
+    """
+
+    layer: str
+    kind: str
+    gemm_shape: tuple[int, int, int]
+    weight_sparsity: float
+    activation_sparsity: float
+    stats: DeviceStats
+
+    @property
+    def instruction_speedup(self) -> float:
+        """Dense / sparse OHMMA ratio of this layer."""
+        return self.stats.instruction_speedup
+
+
+@dataclass(frozen=True)
+class FunctionalModelRun:
+    """Functional execution record of a whole model.
+
+    Attributes:
+        model: model name.
+        layers: per-layer records in model order.
+    """
+
+    model: str
+    layers: tuple[FunctionalLayerRun, ...]
+
+    @property
+    def ohmma_issued(self) -> int:
+        """Total OHMMA instructions issued across the model."""
+        return sum(layer.stats.warp.ohmma_issued for layer in self.layers)
+
+    @property
+    def ohmma_dense(self) -> int:
+        """Total OHMMA instructions a dense execution would issue."""
+        return sum(layer.stats.warp.ohmma_dense for layer in self.layers)
+
+    @property
+    def instruction_speedup(self) -> float:
+        """Whole-model dense / sparse OHMMA ratio."""
+        issued = self.ohmma_issued
+        if issued == 0:
+            return float(self.ohmma_dense) if self.ohmma_dense else 1.0
+        return self.ohmma_dense / issued
+
+
+def _scaled_spatial(value: int, kernel: int, scale: float) -> int:
+    """Scale a spatial dimension, never below the kernel footprint."""
+    return max(kernel, int(round(value * scale)))
+
+
+def _run_conv_layer(
+    spec: ConvLayerSpec,
+    rng: np.random.Generator,
+    scale: float,
+    config: WarpTileConfig | None,
+    backend: str,
+) -> FunctionalLayerRun:
+    """Materialise one convolution layer and run the sparse pipeline."""
+    height = _scaled_spatial(spec.height, spec.kernel, scale)
+    width = _scaled_spatial(spec.width, spec.kernel, scale)
+    feature_map = random_sparse_matrix(
+        (spec.in_channels * height, width), 1.0 - spec.activation_sparsity, rng
+    ).reshape(spec.in_channels, height, width)
+    weights = random_sparse_matrix(
+        (spec.out_channels, spec.in_channels * spec.kernel * spec.kernel),
+        1.0 - spec.weight_sparsity,
+        rng,
+    ).reshape(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel)
+    result = sparse_conv2d(
+        feature_map,
+        weights,
+        stride=spec.stride,
+        padding=spec.padding,
+        config=config,
+        backend=backend,
+    )
+    lowered_rows, lowered_cols = result.stats.lowered_shape
+    return FunctionalLayerRun(
+        layer=spec.name,
+        kind="conv",
+        gemm_shape=(lowered_rows, lowered_cols, spec.out_channels),
+        weight_sparsity=result.stats.weight_sparsity,
+        activation_sparsity=result.stats.activation_sparsity,
+        stats=result.stats.gemm,
+    )
+
+
+def _run_gemm_layer(
+    spec: GemmLayerSpec,
+    rng: np.random.Generator,
+    scale: float,
+    config: WarpTileConfig | None,
+    backend: str,
+    weight_pattern: str,
+) -> FunctionalLayerRun:
+    """Materialise one GEMM layer and run the transposed-layer SpGEMM.
+
+    As in :class:`repro.nn.inference.ModelEvaluator`, the executed product
+    is ``Y^T = W^T @ X^T`` so the pruned weight matrix sits on the
+    outer product's fine-granularity A side.
+    """
+    m_rows = max(1, int(round(spec.m * scale)))
+    weights = rng.uniform(0.5, 1.5, size=(spec.k, spec.n))
+    if weight_pattern == "blocked":
+        weights = block_movement_prune(weights, spec.weight_sparsity, block=32)
+    else:
+        mask = rng.random(weights.shape) >= spec.weight_sparsity
+        weights = np.where(mask, weights, 0.0)
+    activations = random_sparse_matrix(
+        (m_rows, spec.k), 1.0 - spec.activation_sparsity, rng
+    )
+    result = device_spgemm(
+        weights.T.copy(), activations.T.copy(), config=config, backend=backend
+    )
+    return FunctionalLayerRun(
+        layer=spec.name,
+        kind="gemm",
+        gemm_shape=(spec.n, spec.k, m_rows),
+        weight_sparsity=1.0 - np.count_nonzero(weights) / weights.size,
+        activation_sparsity=1.0 - np.count_nonzero(activations) / activations.size,
+        stats=result.stats,
+    )
+
+
+def run_model_functional(
+    model: "ModelDefinition | str",
+    scale: float = 0.25,
+    seed: int = 2021,
+    config: WarpTileConfig | None = None,
+    backend: str = "vectorized",
+) -> FunctionalModelRun:
+    """Execute every representative layer of a model functionally.
+
+    Args:
+        model: a :class:`ModelDefinition` or a registry name such as
+            ``"ResNet-18"`` or ``"BERT-base Encoder"``.
+        scale: shrink factor for the data-sized dimensions (CNN spatial
+            extent, GEMM batch rows); ``1.0`` runs paper-sized layers.
+        seed: RNG seed for the synthetic pruned operands.
+        config: warp-tile geometry shared by all layers.
+        backend: SpGEMM backend — ``"vectorized"`` (default) or
+            ``"reference"``.
+
+    Returns:
+        Per-layer and aggregate instruction statistics of the whole
+        model run.
+    """
+    if isinstance(model, str):
+        model = get_model(model)
+    if not 0.0 < scale <= 1.0:
+        raise ConfigError(f"scale must be in (0, 1], got {scale}")
+    rng = np.random.default_rng(seed)
+    layers: list[FunctionalLayerRun] = []
+    if model.kind == "cnn":
+        for spec in model.conv_layers:
+            layers.append(_run_conv_layer(spec, rng, scale, config, backend))
+    else:
+        for spec in model.gemm_layers:
+            layers.append(
+                _run_gemm_layer(
+                    spec, rng, scale, config, backend, model.weight_pattern
+                )
+            )
+    return FunctionalModelRun(model=model.name, layers=tuple(layers))

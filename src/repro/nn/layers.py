@@ -31,6 +31,8 @@ class Conv2dLayer:
         stride: spatial stride.
         padding: symmetric zero padding.
         apply_relu: whether a ReLU follows the convolution.
+        backend: SpGEMM execution backend (``"vectorized"`` or
+            ``"reference"``).
     """
 
     name: str
@@ -38,6 +40,7 @@ class Conv2dLayer:
     stride: int = 1
     padding: int = 0
     apply_relu: bool = True
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         self.weights = np.asarray(self.weights)
@@ -47,7 +50,11 @@ class Conv2dLayer:
     def forward(self, feature_map: np.ndarray) -> np.ndarray:
         """Run the layer through the dual-side sparse convolution pipeline."""
         result = sparse_conv2d(
-            feature_map, self.weights, stride=self.stride, padding=self.padding
+            feature_map,
+            self.weights,
+            stride=self.stride,
+            padding=self.padding,
+            backend=self.backend,
         )
         output = result.output
         return relu(output) if self.apply_relu else output
@@ -78,11 +85,14 @@ class LinearLayer:
         name: layer name.
         weights: (in_features, out_features) weight matrix.
         apply_relu: whether a ReLU follows the matrix multiplication.
+        backend: SpGEMM execution backend (``"vectorized"`` or
+            ``"reference"``).
     """
 
     name: str
     weights: np.ndarray
     apply_relu: bool = True
+    backend: str = "vectorized"
 
     def __post_init__(self) -> None:
         self.weights = np.asarray(self.weights)
@@ -97,7 +107,7 @@ class LinearLayer:
                 f"activation features {activations.shape[1]} do not match weight rows "
                 f"{self.weights.shape[0]}"
             )
-        result = device_spgemm(activations, self.weights)
+        result = device_spgemm(activations, self.weights, backend=self.backend)
         output = result.output
         return relu(output) if self.apply_relu else output
 
