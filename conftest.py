@@ -1,0 +1,15 @@
+"""Repo-root pytest configuration.
+
+Registered here (rather than in ``tests/experiments/conftest.py``) so the
+option exists regardless of which directory the run targets.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/experiments/golden/*.json snapshots "
+        "instead of asserting against them",
+    )

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
-# Smoke-test CI: the tier-1 test suite plus a doctest pass over the
-# README quickstart snippets.  Run from anywhere; no arguments.
+# Smoke-test CI: the tier-1 test suite, a doctest pass over the README
+# quickstart snippets, the golden-snapshot regression suite (fails on
+# any paper-table drift) and a parallel + cached runner smoke pass that
+# must print byte-identical tables on the cached re-run.
+# Run from anywhere; no arguments.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,5 +14,17 @@ python -m pytest -x -q
 
 echo "== README quickstart doctests =="
 python -m pytest -q --doctest-glob=README.md README.md
+
+echo "== golden-snapshot regression suite =="
+python -m pytest -q tests/experiments/test_golden.py
+
+echo "== runner smoke: --quick --jobs 2 --cache, cached re-run byte-identical =="
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+REPRO_CACHE_DIR="$smoke_dir/cache" python -m repro.experiments.runner \
+    --quick --jobs 2 --cache > "$smoke_dir/first.txt"
+REPRO_CACHE_DIR="$smoke_dir/cache" python -m repro.experiments.runner \
+    --quick --jobs 2 --cache > "$smoke_dir/second.txt"
+cmp "$smoke_dir/first.txt" "$smoke_dir/second.txt"
 
 echo "CI OK"

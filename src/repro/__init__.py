@@ -25,15 +25,8 @@ The most common entry points are re-exported here:
 True
 """
 
-from repro.core.api import (
-    SparseMatrix,
-    SpGemmResult,
-    SpConvResult,
-    spgemm,
-    spgemm_batched,
-    spconv,
-    sparse_im2col,
-)
+import importlib
+
 from repro.errors import (
     ReproError,
     ShapeError,
@@ -42,6 +35,33 @@ from repro.errors import (
     SimulationError,
 )
 from repro.version import __version__
+
+#: Heavy re-exports resolved lazily (PEP 562): the sweep runtime's
+#: cached path (registry + cache + report) must import ``repro`` without
+#: paying for NumPy and the execution engine behind ``repro.core.api``.
+_LAZY_EXPORTS = {
+    "SparseMatrix": "repro.core.api",
+    "SpGemmResult": "repro.core.api",
+    "SpConvResult": "repro.core.api",
+    "spgemm": "repro.core.api",
+    "spgemm_batched": "repro.core.api",
+    "spconv": "repro.core.api",
+    "sparse_im2col": "repro.core.api",
+}
+
+
+def __getattr__(name: str):
+    try:
+        module = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))
 
 __all__ = [
     "SparseMatrix",

@@ -2,28 +2,47 @@
 
 Each module exposes a ``run_*`` function returning plain rows (lists of
 dictionaries) so the same code backs the unit tests, the pytest-benchmark
-harnesses in ``benchmarks/`` and the command-line report
+harnesses in ``benchmarks/``, the parallel/cached sweep runtime
+(:mod:`repro.runtime`) and the command-line report
 (``python -m repro.experiments.runner``).
+
+The re-exports below are resolved lazily (PEP 562): the runner's cached
+path and the registry must be importable without paying for the model
+zoo and kernel cost models behind every driver.
 """
 
-from repro.experiments.table2_models import run_table2
-from repro.experiments.table3_im2col import run_table3
-from repro.experiments.fig21_spgemm import run_fig21
-from repro.experiments.fig22_models import run_fig22
-from repro.experiments.table4_overhead import run_table4
-from repro.experiments.fig5_warp_skipping import run_fig5
-from repro.experiments.fig6_tiling_speedup import run_fig6
-from repro.experiments.fig19_operand_collector import run_fig19
-from repro.experiments.report import format_rows
+from __future__ import annotations
 
-__all__ = [
-    "run_table2",
-    "run_table3",
-    "run_fig21",
-    "run_fig22",
-    "run_table4",
-    "run_fig5",
-    "run_fig6",
-    "run_fig19",
-    "format_rows",
-]
+import importlib
+
+_LAZY_EXPORTS = {
+    "run_table2": "repro.experiments.table2_models",
+    "run_table3": "repro.experiments.table3_im2col",
+    "run_table4": "repro.experiments.table4_overhead",
+    "run_fig5": "repro.experiments.fig5_warp_skipping",
+    "run_fig6": "repro.experiments.fig6_tiling_speedup",
+    "run_fig19": "repro.experiments.fig19_operand_collector",
+    "run_fig21": "repro.experiments.fig21_spgemm",
+    "run_fig22": "repro.experiments.fig22_models",
+    "run_functional_models": "repro.experiments.functional_models",
+    "format_rows": "repro.experiments.report",
+    "EXPERIMENTS": "repro.experiments.registry",
+    "ExperimentSpec": "repro.experiments.registry",
+    "get_experiment": "repro.experiments.registry",
+}
+
+__all__ = list(_LAZY_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(importlib.import_module(module), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

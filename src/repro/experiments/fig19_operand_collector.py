@@ -11,14 +11,35 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hw.accumulation_buffer import AccumulationBuffer, AccumulationBufferConfig
+from repro.hw.config import GpuConfig, V100_CONFIG
+
+
+def buffer_config_from_gpu(config: GpuConfig) -> AccumulationBufferConfig:
+    """Derive the accumulation-buffer geometry from a device preset."""
+    return AccumulationBufferConfig(
+        size_bytes=config.accumulation_buffer_kb * 1024,
+        num_banks=config.accumulation_banks,
+        ports=config.accumulation_ports,
+    )
 
 
 def run_fig19(
     num_instructions: int = 64,
     accesses_per_instruction: int = 16,
     seed: int = 2021,
+    config: GpuConfig | None = None,
 ) -> list[dict]:
-    """Compare drain cycles with and without the operand collector."""
+    """Compare drain cycles with and without the operand collector.
+
+    Args:
+        num_instructions: sparse-mode OHMMA instructions replayed.
+        accesses_per_instruction: scattered accumulator writes per
+            instruction at the 50% density point.
+        seed: RNG seed for the random accumulator positions.
+        config: GPU configuration; its ``accumulation_*`` fields define
+            the buffer geometry (banks, ports, capacity) being replayed.
+    """
+    buffer_config = buffer_config_from_gpu(config or V100_CONFIG)
     rng = np.random.default_rng(seed)
     rows = []
     for density_label, accesses in (
@@ -26,7 +47,7 @@ def run_fig19(
         ("sparse 50%", accesses_per_instruction),
         ("sparse 25%", max(1, accesses_per_instruction // 2)),
     ):
-        buffer = AccumulationBuffer(AccumulationBufferConfig())
+        buffer = AccumulationBuffer(buffer_config)
         if accesses is None:
             cycles_without = buffer.dense_mode_cycles(num_instructions)
             rows.append(

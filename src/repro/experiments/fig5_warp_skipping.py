@@ -12,22 +12,34 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.spgemm_warp import WarpTileConfig, warp_spgemm, warp_speedup_levels
+from repro.hw.config import GpuConfig
 from repro.isa.wmma import expand_spwmma
 from repro.sparsity.generators import random_sparse_matrix
 
 
-def run_fig5(seed: int = 2021, k_steps: int = 16) -> list[dict]:
-    """Sweep A/B vector sparsity and report OHMMA skipping per warp tile."""
+def run_fig5(
+    seed: int = 2021, k_steps: int = 16, config: GpuConfig | None = None
+) -> list[dict]:
+    """Sweep A/B vector sparsity and report OHMMA skipping per warp tile.
+
+    Args:
+        seed: RNG seed for the synthetic warp tiles.
+        k_steps: reduction steps per warp tile (the figure's K).
+        config: GPU configuration; accepted so the sweep runtime can drive
+            every experiment uniformly.  The per-warp-tile instruction
+            counts are device-independent, so it does not change the rows.
+    """
+    del config  # warp-tile counts do not depend on the device
     rng = np.random.default_rng(seed)
-    config = WarpTileConfig(tk=k_steps)
-    levels = warp_speedup_levels(config)
+    tile = WarpTileConfig(tk=k_steps)
+    levels = warp_speedup_levels(tile)
     rows = []
     for a_sparsity in (0.0, 0.25, 0.5, 0.75, 0.9):
         for b_sparsity in (0.0, 0.5, 0.9):
-            a_tile = random_sparse_matrix((config.tm, k_steps), 1.0 - a_sparsity, rng)
-            b_tile = random_sparse_matrix((k_steps, config.tn), 1.0 - b_sparsity, rng)
-            _, stats = warp_spgemm(a_tile, b_tile, config)
-            expansion = expand_spwmma(a_tile != 0, b_tile != 0, config)
+            a_tile = random_sparse_matrix((tile.tm, k_steps), 1.0 - a_sparsity, rng)
+            b_tile = random_sparse_matrix((k_steps, tile.tn), 1.0 - b_sparsity, rng)
+            _, stats = warp_spgemm(a_tile, b_tile, tile)
+            expansion = expand_spwmma(a_tile != 0, b_tile != 0, tile)
             rows.append(
                 {
                     "a_sparsity": a_sparsity,

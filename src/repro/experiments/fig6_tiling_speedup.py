@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.spgemm_device import count_device_instructions
+from repro.hw.config import GpuConfig, V100_CONFIG
 from repro.sparsity.distributions import uniform_mask
 
 
@@ -40,9 +41,21 @@ def _figure6_banded_mask(
 
 
 def run_fig6(
-    size: int = 256, average_sparsity: float = 0.375, seed: int = 2021
+    size: int = 256,
+    average_sparsity: float = 0.375,
+    seed: int = 2021,
+    config: GpuConfig | None = None,
 ) -> list[dict]:
-    """Compare even vs uneven non-zero distributions at equal sparsity."""
+    """Compare even vs uneven non-zero distributions at equal sparsity.
+
+    Args:
+        size: square matrix dimension.
+        average_sparsity: global A-operand sparsity of both distributions.
+        seed: RNG seed for the synthetic masks.
+        config: GPU configuration used to convert the issue-limited OHMMA
+            cycle count to a device execution time.
+    """
+    config = config or V100_CONFIG
     rng = np.random.default_rng(seed)
     density = 1.0 - average_sparsity
     b_dense = rng.uniform(0.5, 1.5, size=(size, size))
@@ -54,6 +67,7 @@ def run_fig6(
     ):
         matrix_a = _matrix_from_mask(mask, rng)
         counts = count_device_instructions(matrix_a, b_dense)
+        issue_cycles = counts.ohmma_issued / config.ohmma_slots_per_cycle
         rows.append(
             {
                 "distribution": label,
@@ -61,6 +75,7 @@ def run_fig6(
                 "ohmma_issued": counts.ohmma_issued,
                 "ohmma_dense": counts.ohmma_dense,
                 "instruction_speedup": counts.instruction_speedup,
+                "issue_time_us": config.cycles_to_us(issue_cycles),
             }
         )
     return rows

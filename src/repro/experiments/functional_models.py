@@ -12,6 +12,7 @@ into the seconds range.
 from __future__ import annotations
 
 from repro.core.spgemm_warp import WarpTileConfig
+from repro.hw.config import GpuConfig, V100_CONFIG
 from repro.nn.functional import run_model_functional
 from repro.nn.models import MODEL_REGISTRY
 
@@ -23,7 +24,8 @@ def run_functional_models(
     models: tuple[str, ...] | None = None,
     scale: float = 0.125,
     seed: int = 2021,
-    config: WarpTileConfig | None = None,
+    config: GpuConfig | None = None,
+    tile_config: WarpTileConfig | None = None,
     backend: str = "vectorized",
 ) -> list[dict]:
     """Execute whole models functionally and tabulate exact statistics.
@@ -34,7 +36,9 @@ def run_functional_models(
         scale: data-dimension shrink factor forwarded to
             :func:`repro.nn.functional.run_model_functional`.
         seed: RNG seed for the synthetic pruned operands.
-        config: warp-tile geometry override.
+        config: GPU configuration used to convert the exact OHMMA counts
+            to an issue-limited device time per model.
+        tile_config: warp-tile geometry override.
         backend: SpGEMM backend (``"vectorized"`` or ``"reference"``).
 
     Returns:
@@ -42,11 +46,12 @@ def run_functional_models(
         each with the executed GEMM shape, measured sparsities, issued /
         dense OHMMA counts and the exact instruction speedup.
     """
+    config = config or V100_CONFIG
     names = models or DEFAULT_MODELS
     rows: list[dict] = []
     for name in names:
         run = run_model_functional(
-            name, scale=scale, seed=seed, config=config, backend=backend
+            name, scale=scale, seed=seed, config=tile_config, backend=backend
         )
         for layer in run.layers:
             rows.append(
@@ -59,8 +64,16 @@ def run_functional_models(
                     "ohmma_issued": layer.stats.warp.ohmma_issued,
                     "ohmma_dense": layer.stats.warp.ohmma_dense,
                     "instruction_speedup": round(layer.instruction_speedup, 3),
+                    "issue_time_us": round(
+                        config.cycles_to_us(
+                            layer.stats.warp.ohmma_issued
+                            / config.ohmma_slots_per_cycle
+                        ),
+                        4,
+                    ),
                 }
             )
+        issue_cycles = run.ohmma_issued / config.ohmma_slots_per_cycle
         rows.append(
             {
                 "model": name,
@@ -71,6 +84,7 @@ def run_functional_models(
                 "ohmma_issued": run.ohmma_issued,
                 "ohmma_dense": run.ohmma_dense,
                 "instruction_speedup": round(run.instruction_speedup, 3),
+                "issue_time_us": round(config.cycles_to_us(issue_cycles), 4),
             }
         )
     return rows

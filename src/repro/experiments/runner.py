@@ -2,71 +2,136 @@
 
 Usage::
 
-    python -m repro.experiments.runner             # everything (slow-ish)
+    python -m repro.experiments.runner                # everything (slow-ish)
     python -m repro.experiments.runner table3 fig21
+    python -m repro.experiments.runner --list         # show what exists
+    python -m repro.experiments.runner --quick --jobs 4
+    python -m repro.experiments.runner --gpu a100 --gpu t4 fig21
 
-The Figure 21 sweep defaults to the paper's 4096-sized GEMM; pass
-``--quick`` to shrink the workloads for a fast smoke run.
+Results are cached (content-addressed on experiment + parameters + code
+version, see :mod:`repro.runtime.cache`), so a repeated invocation
+prints byte-identical tables near-instantly; pass ``--no-cache`` to
+force recomputation.  ``--jobs N`` runs cache misses in ``N`` worker
+processes without changing the output order.  The Figure 21 sweep
+defaults to the paper's 4096-sized GEMM; pass ``--quick`` to shrink the
+workloads for a fast smoke run.  Progress/cache diagnostics go to
+stderr; stdout carries only the tables.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
-from repro.experiments.fig5_warp_skipping import run_fig5
-from repro.experiments.functional_models import run_functional_models
-from repro.experiments.fig6_tiling_speedup import run_fig6
-from repro.experiments.fig19_operand_collector import run_fig19
-from repro.experiments.fig21_spgemm import run_fig21
-from repro.experiments.fig22_models import run_fig22
+from repro.experiments.registry import EXPERIMENTS
 from repro.experiments.report import format_rows
-from repro.experiments.table2_models import run_table2
-from repro.experiments.table3_im2col import run_table3
-from repro.experiments.table4_overhead import run_table4
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import ExperimentTask, run_tasks
 
 
-def _build_registry(quick: bool):
-    """Map experiment names to zero-argument callables."""
-    return {
-        "table2": lambda: run_table2(),
-        "table3": lambda: run_table3(scale=0.5 if quick else 1.0),
-        "table4": lambda: run_table4(),
-        "fig5": lambda: run_fig5(),
-        "fig6": lambda: run_fig6(size=128 if quick else 256),
-        "fig19": lambda: run_fig19(num_instructions=16 if quick else 64),
-        "fig21": lambda: run_fig21(size=1024 if quick else 4096),
-        "fig22": lambda: run_fig22(
-            models=("ResNet-18", "BERT-base Encoder") if quick else None
-        ),
-        "functional": lambda: run_functional_models(
-            scale=0.0625 if quick else 0.125
-        ),
-    }
+def _list_experiments() -> str:
+    width = max(len(name) for name in EXPERIMENTS)
+    lines = ["available experiments:"]
+    for name, spec in EXPERIMENTS.items():
+        note = "" if spec.device_aware else "  [device-independent]"
+        lines.append(f"  {name.ljust(width)}  {spec.description}{note}")
+    return "\n".join(lines)
 
 
-def main(argv: list[str] | None = None) -> int:
+def main(argv: "list[str] | None" = None) -> int:
     """Run the selected experiments and print their tables."""
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "experiments",
         nargs="*",
-        help="experiments to run (default: all)",
+        help="experiments to run (default: all; see --list)",
     )
     parser.add_argument(
         "--quick", action="store_true", help="shrink workloads for a fast smoke run"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for uncached experiments (default: 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached results when code and parameters are unchanged",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--gpu",
+        action="append",
+        default=None,
+        metavar="PRESET",
+        help="GPU preset (repeatable): v100, a100, t4, jetson-xavier",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the experiments' RNG seed"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered experiments and exit"
+    )
     args = parser.parse_args(argv)
 
-    registry = _build_registry(args.quick)
-    names = args.experiments or list(registry)
-    unknown = [name for name in names if name not in registry]
+    if args.list:
+        print(_list_experiments())
+        return 0
+    if args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    names = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
     if unknown:
-        parser.error(f"unknown experiments: {unknown}; available: {sorted(registry)}")
-    for name in names:
-        rows = registry[name]()
-        print(format_rows(rows, title=f"=== {name} ==="))
+        print(
+            f"error: unknown experiment(s): {', '.join(unknown)}\n"
+            f"{_list_experiments()}",
+            file=sys.stderr,
+        )
+        return 2
+
+    gpus: "list[str | None]" = args.gpu if args.gpu else [None]
+    tasks = [
+        ExperimentTask(experiment=name, quick=args.quick, gpu=gpu, seed=args.seed)
+        for name in names
+        for gpu in gpus
+    ]
+    cache = ResultCache(args.cache_dir) if args.cache else None
+    started = time.perf_counter()
+    try:
+        results = run_tasks(tasks, jobs=args.jobs, cache=cache)
+    except Exception as error:  # unknown preset, bad parameter, ...
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    for result in results:
+        task = result.task
+        title = (
+            f"=== {task.experiment} ==="
+            if task.gpu is None
+            else f"=== {task.experiment} @ {task.gpu} ==="
+        )
+        print(format_rows(result.rows, title=title))
         print()
+
+    hits = sum(1 for result in results if result.cached)
+    print(
+        f"[runner] {len(results)} task(s), {hits} cache hit(s), "
+        f"jobs={args.jobs}, {elapsed:.2f}s",
+        file=sys.stderr,
+    )
     return 0
 
 

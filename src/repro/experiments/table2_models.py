@@ -2,11 +2,20 @@
 
 from __future__ import annotations
 
+from repro.hw.config import GpuConfig
 from repro.nn.models import MODEL_REGISTRY
 
 
-def run_table2() -> list[dict]:
-    """Reproduce Table II plus the sparsity summaries used downstream."""
+def run_table2(config: GpuConfig | None = None, seed: int = 2021) -> list[dict]:
+    """Reproduce Table II plus the sparsity summaries used downstream.
+
+    Args:
+        config: GPU configuration; accepted so the sweep runtime can drive
+            every experiment uniformly (the model zoo is device-agnostic).
+        seed: accepted for signature uniformity; the table is metadata
+            and uses no randomness.
+    """
+    del config, seed
     rows = []
     for name in MODEL_REGISTRY:
         model = MODEL_REGISTRY[name]()

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.hw.config import GpuConfig
 from repro.kernels.im2col_cost import Im2colCostModel, compare_im2col_methods
 from repro.kernels.layer_spec import ConvLayerSpec
 
@@ -35,13 +36,16 @@ def table3_layer() -> ConvLayerSpec:
     )
 
 
-def run_table3(seed: int = 2021, scale: float = 1.0) -> list[dict]:
+def run_table3(
+    seed: int = 2021, scale: float = 1.0, config: GpuConfig | None = None
+) -> list[dict]:
     """Reproduce Table III.
 
     Args:
         seed: RNG seed for the synthetic feature-map masks.
         scale: spatial scale factor (<1 shrinks the layer for quick runs;
             the normalised results are size-invariant to first order).
+        config: GPU configuration forwarded to the im2col cost model.
     """
     rng = np.random.default_rng(seed)
     base = table3_layer()
@@ -55,7 +59,7 @@ def run_table3(seed: int = 2021, scale: float = 1.0) -> list[dict]:
         stride=base.stride,
         padding=base.padding,
     )
-    cost_model = Im2colCostModel()
+    cost_model = Im2colCostModel(config)
     rows = []
     for sparsity in SPARSITY_POINTS:
         comparison = compare_im2col_methods(spec, sparsity, rng, cost_model)

@@ -13,6 +13,7 @@ import numpy as np
 from repro.formats.bitmap import COLUMN_MAJOR, BitmapMatrix
 from repro.formats.coo import CooMatrix
 from repro.formats.csr import CsrMatrix
+from repro.formats.hierarchical import TwoLevelBitmapMatrix
 
 
 def dense_to_csr(dense: np.ndarray, element_bytes: int = 2) -> CsrMatrix:
@@ -59,3 +60,49 @@ def csr_to_bitmap(
 def bitmap_to_csr(matrix: BitmapMatrix, element_bytes: int = 2) -> CsrMatrix:
     """Convert a bitmap encoding to CSR (via dense)."""
     return CsrMatrix.from_dense(matrix.to_dense(), element_bytes=element_bytes)
+
+
+def csr_to_coo(matrix: CsrMatrix) -> CooMatrix:
+    """Convert CSR to COO (via dense)."""
+    return CooMatrix.from_dense(matrix.to_dense(), element_bytes=matrix.element_bytes)
+
+
+def coo_to_csr(matrix: CooMatrix) -> CsrMatrix:
+    """Convert COO to CSR (via dense)."""
+    return CsrMatrix.from_dense(matrix.to_dense(), element_bytes=matrix.element_bytes)
+
+
+def dense_to_hierarchical(
+    dense: np.ndarray,
+    tile_shape: tuple[int, int] = (32, 32),
+    order: str = COLUMN_MAJOR,
+    element_bytes: int = 2,
+) -> TwoLevelBitmapMatrix:
+    """Encode a dense matrix in the two-level (hierarchical) bitmap format."""
+    return TwoLevelBitmapMatrix.from_dense(
+        dense, tile_shape=tile_shape, order=order, element_bytes=element_bytes
+    )
+
+
+def hierarchical_to_dense(matrix: TwoLevelBitmapMatrix) -> np.ndarray:
+    """Decode a two-level bitmap matrix to dense."""
+    return matrix.to_dense()
+
+
+def bitmap_to_hierarchical(
+    matrix: BitmapMatrix, tile_shape: tuple[int, int] = (32, 32)
+) -> TwoLevelBitmapMatrix:
+    """Convert a one-level bitmap encoding to the two-level format (via dense)."""
+    return TwoLevelBitmapMatrix.from_dense(
+        matrix.to_dense(),
+        tile_shape=tile_shape,
+        order=matrix.order,
+        element_bytes=matrix.element_bytes,
+    )
+
+
+def hierarchical_to_bitmap(matrix: TwoLevelBitmapMatrix) -> BitmapMatrix:
+    """Flatten a two-level bitmap encoding to one level (via dense)."""
+    return BitmapMatrix.from_dense(
+        matrix.to_dense(), order=matrix.order, element_bytes=matrix.element_bytes
+    )

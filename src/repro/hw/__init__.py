@@ -20,7 +20,15 @@ on rather than a full GPGPU-Sim port:
   behind Table IV.
 """
 
-from repro.hw.config import GpuConfig, V100_CONFIG
+from repro.hw.config import (
+    GpuConfig,
+    GPU_PRESETS,
+    V100_CONFIG,
+    A100_CONFIG,
+    T4_CONFIG,
+    JETSON_XAVIER_CONFIG,
+    get_gpu_config,
+)
 from repro.hw.gpu import GpuTimingModel, KernelTiming
 from repro.hw.accumulation_buffer import AccumulationBuffer, AccumulationBufferConfig
 from repro.hw.operand_collector import OperandCollector
@@ -28,7 +36,12 @@ from repro.hw.area_model import AreaPowerModel, OverheadReport
 
 __all__ = [
     "GpuConfig",
+    "GPU_PRESETS",
     "V100_CONFIG",
+    "A100_CONFIG",
+    "T4_CONFIG",
+    "JETSON_XAVIER_CONFIG",
+    "get_gpu_config",
     "GpuTimingModel",
     "KernelTiming",
     "AccumulationBuffer",

@@ -10,7 +10,7 @@ peak throughput of the modified machine is unchanged.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 from repro.errors import ConfigError
 
@@ -121,3 +121,103 @@ class GpuConfig:
 
 #: The default V100 configuration used throughout the evaluation.
 V100_CONFIG = GpuConfig()
+
+#: Ampere A100 (SXM4 40 GB).  The third-generation Tensor Core performs
+#: 256 FP16 MACs per cycle, one per sub-core; HBM2e raises the DRAM
+#: bandwidth to ~1.5 TB/s.  The accumulation-buffer proposal is scaled
+#: with the larger shared-memory budget (Section V-B sizes the buffer to
+#: one 32x32 FP32 tile per sub-core, unchanged).
+A100_CONFIG = GpuConfig(
+    name="A100-SXM4-40GB",
+    num_sms=108,
+    subcores_per_sm=4,
+    tensor_cores_per_subcore=1,
+    macs_per_tensor_core=256,
+    cuda_cores_per_sm=64,
+    clock_ghz=1.41,
+    dram_bandwidth_gbs=1555.0,
+    l2_bandwidth_gbs=4500.0,
+    shared_memory_per_sm_kb=164,
+    accumulation_buffer_kb=4,
+    accumulation_banks=32,
+    accumulation_ports=16,
+    die_area_mm2=826.0,
+    tdp_w=400.0,
+)
+
+#: Turing T4 — the small inference part (70 W, GDDR6).
+T4_CONFIG = GpuConfig(
+    name="Tesla T4",
+    num_sms=40,
+    subcores_per_sm=4,
+    tensor_cores_per_subcore=2,
+    macs_per_tensor_core=64,
+    cuda_cores_per_sm=64,
+    clock_ghz=1.59,
+    dram_bandwidth_gbs=320.0,
+    l2_bandwidth_gbs=1300.0,
+    shared_memory_per_sm_kb=64,
+    accumulation_buffer_kb=4,
+    accumulation_banks=32,
+    accumulation_ports=16,
+    die_area_mm2=545.0,
+    tdp_w=70.0,
+)
+
+#: Embedded-class device modelled on the Jetson AGX Xavier iGPU: eight
+#: Volta SMs fed from shared LPDDR4x.  The accumulation buffer keeps the
+#: 32x32 tile but with half the banks/ports, matching the narrower
+#: datapath of the embedded part.
+JETSON_XAVIER_CONFIG = GpuConfig(
+    name="Jetson AGX Xavier",
+    num_sms=8,
+    subcores_per_sm=4,
+    tensor_cores_per_subcore=2,
+    macs_per_tensor_core=64,
+    cuda_cores_per_sm=64,
+    clock_ghz=1.377,
+    dram_bandwidth_gbs=137.0,
+    l2_bandwidth_gbs=410.0,
+    shared_memory_per_sm_kb=96,
+    accumulation_buffer_kb=4,
+    accumulation_banks=16,
+    accumulation_ports=8,
+    die_area_mm2=350.0,
+    tdp_w=30.0,
+)
+
+#: Named device presets addressable from the sweep runtime and the CLI.
+GPU_PRESETS: dict[str, GpuConfig] = {
+    "v100": V100_CONFIG,
+    "a100": A100_CONFIG,
+    "t4": T4_CONFIG,
+    "jetson-xavier": JETSON_XAVIER_CONFIG,
+}
+
+
+def get_gpu_config(
+    name: str, overrides: "dict[str, object] | None" = None
+) -> GpuConfig:
+    """Resolve a preset name (case-insensitive) to a :class:`GpuConfig`.
+
+    Args:
+        name: a key of :data:`GPU_PRESETS` (e.g. ``"a100"``).
+        overrides: optional field overrides applied on top of the preset
+            (design points such as ``{"accumulation_buffer_kb": 8}``).
+
+    Raises:
+        ConfigError: unknown preset name or unknown override field.
+    """
+    key = name.strip().lower()
+    if key not in GPU_PRESETS:
+        raise ConfigError(
+            f"unknown GPU preset {name!r}; available: {sorted(GPU_PRESETS)}"
+        )
+    config = GPU_PRESETS[key]
+    if overrides:
+        valid = {f.name for f in fields(GpuConfig)}
+        unknown = sorted(set(overrides) - valid)
+        if unknown:
+            raise ConfigError(f"unknown GpuConfig fields in overrides: {unknown}")
+        config = replace(config, **overrides)
+    return config

@@ -1,0 +1,34 @@
+"""Parallel, cached, multi-scenario sweep runtime for the experiments.
+
+The seed repository ran every table and figure serially, from scratch,
+against the single hard-coded V100 configuration.  This package turns
+the experiment layer into a sweep engine:
+
+* :mod:`repro.runtime.cache` — a content-addressed JSON result cache
+  keyed on a stable hash of (experiment, parameters, code version), so
+  re-runs are near-instant and byte-identical.
+* :mod:`repro.runtime.executor` — serial and multiprocessing execution
+  of :class:`ExperimentTask` lists with deterministic result order.
+* :mod:`repro.runtime.sweep` — :class:`SweepSpec` grids that
+  cross-product GPU presets × design-point overrides × per-experiment
+  parameter grids and drive any registered experiment.
+
+``python -m repro.experiments.runner`` is the CLI front end.
+"""
+
+from repro.runtime.cache import ResultCache, code_version, normalize_rows
+from repro.runtime.executor import ExperimentTask, TaskResult, execute_task, run_tasks
+from repro.runtime.sweep import SweepSpec, SweepResult, run_sweep
+
+__all__ = [
+    "ResultCache",
+    "code_version",
+    "normalize_rows",
+    "ExperimentTask",
+    "TaskResult",
+    "execute_task",
+    "run_tasks",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+]

@@ -1,0 +1,144 @@
+"""Content-addressed JSON cache for experiment results.
+
+Every experiment run is identified by a *cache key*: the SHA-256 of a
+canonical JSON document containing the experiment name, the fully
+resolved parameters (GPU preset name + overrides, seed, workload
+parameters) and a *code version* — a digest of every ``.py`` file in the
+installed ``repro`` package.  Editing any source file therefore
+invalidates the whole cache; identical code + identical parameters hit.
+
+Cached entries store the *normalized* rows (plain JSON scalars).  The
+runner formats normalized rows on both the fresh and the cached path, so
+a cache hit reproduces the fresh run's stdout byte for byte: Python's
+``json`` round-trips ``float``/``int``/``str``/``None``/``bool``
+exactly, and :func:`normalize_rows` folds NumPy scalars and tuples into
+those types before anything is printed or stored.
+
+The cache root resolves, in order: the explicit ``root`` argument, the
+``REPRO_CACHE_DIR`` environment variable, ``~/.cache/repro``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+#: Bump when the cache file layout changes (stored entries self-identify).
+CACHE_SCHEMA = 1
+
+_code_version_cache: str | None = None
+
+
+def code_version() -> str:
+    """Digest of the ``repro`` package sources (memoized per process)."""
+    global _code_version_cache
+    if _code_version_cache is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _code_version_cache = digest.hexdigest()
+    return _code_version_cache
+
+
+def normalize_rows(rows: Iterable[Mapping[str, Any]]) -> list[dict]:
+    """Fold rows to plain JSON types (exact-round-trip scalars only)."""
+    return [
+        {str(key): _normalize(value) for key, value in row.items()} for row in rows
+    ]
+
+
+def _normalize(value: Any) -> Any:
+    if isinstance(value, Mapping):
+        return {str(key): _normalize(item) for key, item in value.items()}
+    if hasattr(value, "tolist") and not isinstance(value, (str, bytes)):
+        # NumPy scalar or ndarray (np.float64 subclasses float, so fold
+        # before the scalar check): tolist() yields a Python scalar for
+        # 0-d values and nested lists otherwise, without importing numpy.
+        value = value.tolist()
+    if isinstance(value, (list, tuple)):
+        return [_normalize(item) for item in value]
+    if isinstance(value, (str, bool, int, float)) or value is None:
+        return value
+    return str(value)
+
+
+class ResultCache:
+    """Content-addressed store of normalized experiment rows."""
+
+    def __init__(self, root: "Path | str | None" = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro"
+            )
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # Keys
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def key(experiment: str, params: Mapping[str, Any]) -> str:
+        """Stable content hash of one experiment invocation."""
+        document = json.dumps(
+            {
+                "experiment": experiment,
+                "params": params,
+                "code_version": code_version(),
+                "schema": CACHE_SCHEMA,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(document.encode()).hexdigest()
+
+    def path(self, key: str) -> Path:
+        """Cache file for a key (sharded by the leading byte)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    # ------------------------------------------------------------------ #
+    # Load / store
+    # ------------------------------------------------------------------ #
+    def load(self, key: str) -> "list[dict] | None":
+        """Return the cached rows for ``key``, or None on miss/corruption."""
+        path = self.path(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("schema") != CACHE_SCHEMA:
+            return None
+        rows = entry.get("rows")
+        return rows if isinstance(rows, list) else None
+
+    def store(
+        self,
+        key: str,
+        experiment: str,
+        params: Mapping[str, Any],
+        rows: "list[dict]",
+    ) -> Path:
+        """Persist normalized rows under ``key`` (atomic rename)."""
+        path = self.path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "experiment": experiment,
+            "params": dict(params),
+            "code_version": code_version(),
+            "rows": rows,
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as handle:
+            # No sort_keys: row column order is part of the rendered table.
+            json.dump(entry, handle, indent=1)
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,145 @@
+"""Serial and multiprocessing execution of experiment tasks.
+
+An :class:`ExperimentTask` is the unit of work of the sweep runtime: one
+registered experiment plus everything that parameterizes it (quick mode,
+GPU preset name + design-point overrides, seed, extra grid parameters).
+Tasks carry only JSON-serializable values, so the same dictionary both
+feeds the driver and forms the cache key — there is no way for a cached
+run to diverge from a fresh one because both are derived from the task.
+
+:func:`run_tasks` resolves cache hits in the parent process (cheap: no
+driver imports) and dispatches only the misses, serially or through a
+``multiprocessing`` pool.  Results always come back in task order, so
+serial, parallel and cached invocations print identical reports.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.experiments.registry import get_experiment
+from repro.runtime.cache import ResultCache, normalize_rows
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One fully-specified experiment invocation.
+
+    Attributes:
+        experiment: registered experiment name (see the registry).
+        quick: shrink the workload for a fast smoke run.
+        gpu: GPU preset name (``None`` = the experiment's built-in
+            default, i.e. V100).
+        gpu_overrides: design-point field overrides applied to the
+            preset (e.g. ``{"accumulation_buffer_kb": 8}``).
+        seed: RNG seed forwarded to drivers that accept one.
+        params: extra sweep-grid parameters for the driver.
+    """
+
+    experiment: str
+    quick: bool = False
+    gpu: "str | None" = None
+    gpu_overrides: Mapping[str, Any] = field(default_factory=dict)
+    seed: "int | None" = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def cache_params(self) -> dict[str, Any]:
+        """The JSON document hashed into this task's cache key."""
+        return {
+            "quick": self.quick,
+            "gpu": self.gpu,
+            "gpu_overrides": dict(self.gpu_overrides),
+            "seed": self.seed,
+            "params": dict(self.params),
+        }
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Rows of one executed (or cache-restored) task."""
+
+    task: ExperimentTask
+    rows: "list[dict]"
+    cached: bool = False
+    duration_s: float = 0.0
+
+
+def execute_task(task: ExperimentTask) -> "list[dict]":
+    """Run one task in this process and return its normalized rows."""
+    spec = get_experiment(task.experiment)
+    kwargs = spec.build_kwargs(
+        quick=task.quick, seed=task.seed, params=task.params
+    )
+    if "config" in spec.accepts and (task.gpu is not None or task.gpu_overrides):
+        from repro.hw.config import get_gpu_config
+
+        kwargs["config"] = get_gpu_config(
+            task.gpu or "v100", dict(task.gpu_overrides)
+        )
+    return normalize_rows(spec.resolve()(**kwargs))
+
+
+def run_tasks(
+    tasks: Sequence[ExperimentTask],
+    jobs: int = 1,
+    cache: "ResultCache | None" = None,
+) -> "list[TaskResult]":
+    """Execute tasks (cache-first), returning results in task order.
+
+    Args:
+        tasks: the work list; duplicates are executed once per entry.
+        jobs: worker processes for cache misses (1 = run in-process).
+        cache: result cache; ``None`` disables caching entirely.
+    """
+    for task in tasks:
+        get_experiment(task.experiment)  # fail fast on unknown names
+
+    keys = [
+        cache.key(task.experiment, task.cache_params()) if cache else None
+        for task in tasks
+    ]
+    results: "list[TaskResult | None]" = [None] * len(tasks)
+    misses: list[int] = []
+    for index, (task, key) in enumerate(zip(tasks, keys)):
+        rows = cache.load(key) if cache else None
+        if rows is not None:
+            results[index] = TaskResult(task=task, rows=rows, cached=True)
+        else:
+            misses.append(index)
+
+    if misses:
+        miss_tasks = [tasks[index] for index in misses]
+        if jobs > 1 and len(miss_tasks) > 1:
+            context = multiprocessing.get_context(_preferred_start_method())
+            with context.Pool(processes=min(jobs, len(miss_tasks))) as pool:
+                timed = pool.map(_execute_timed, miss_tasks)
+        else:
+            timed = [_execute_timed(task) for task in miss_tasks]
+        for index, (rows, duration) in zip(misses, timed):
+            results[index] = TaskResult(
+                task=tasks[index], rows=rows, cached=False, duration_s=duration
+            )
+            if cache:
+                cache.store(
+                    keys[index],
+                    tasks[index].experiment,
+                    tasks[index].cache_params(),
+                    rows,
+                )
+    return [result for result in results if result is not None]
+
+
+def _execute_timed(task: ExperimentTask) -> "tuple[list[dict], float]":
+    """Worker entry: rows plus this task's own wall-clock duration."""
+    started = time.perf_counter()
+    rows = execute_task(task)
+    return rows, time.perf_counter() - started
+
+
+def _preferred_start_method() -> str:
+    """``fork`` where available (workers inherit imports), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else methods[0]

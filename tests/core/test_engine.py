@@ -120,6 +120,55 @@ class TestEngineUnits:
         assert result.stats.warp.merge.access_positions
 
 
+class TestRandomizedParity:
+    """Seeded fuzz sweep: the vectorized engine must match the reference
+    loop bit-for-bit on arbitrary shapes (including edge tiles clipped by
+    non-multiple-of-32 dimensions) and with non-finite operand values."""
+
+    @pytest.mark.parametrize("draw_seed", range(20))
+    def test_random_draw_matches_reference(self, draw_seed):
+        rng = np.random.default_rng(515000 + draw_seed)
+        # Shapes intentionally off the 32x32x16 tile grid most of the time.
+        m = int(rng.integers(1, 97))
+        k = int(rng.integers(1, 49))
+        n = int(rng.integers(1, 97))
+        a = random_sparse_matrix((m, k), float(rng.uniform(0.05, 1.0)), rng)
+        b = random_sparse_matrix((k, n), float(rng.uniform(0.05, 1.0)), rng)
+        if draw_seed % 2:
+            # Sprinkle non-finite values over existing non-zeros: the
+            # condense step must keep them out of skipped products.
+            for matrix in (a, b):
+                nz_rows, nz_cols = np.nonzero(matrix)
+                if nz_rows.size:
+                    picks = rng.integers(0, nz_rows.size, size=min(3, nz_rows.size))
+                    specials = rng.choice([np.inf, -np.inf, np.nan], size=picks.size)
+                    matrix[nz_rows[picks], nz_cols[picks]] = specials
+        reference = device_spgemm(a, b, backend="reference")
+        vectorized = device_spgemm(a, b, backend="vectorized")
+        assert np.array_equal(reference.output, vectorized.output, equal_nan=True)
+        assert reference.stats == vectorized.stats
+
+    @pytest.mark.parametrize("draw_seed", range(5))
+    def test_random_clipped_edge_tiles_with_custom_config(self, draw_seed):
+        rng = np.random.default_rng(616000 + draw_seed)
+        config = WarpTileConfig(tm=16, tn=16, tk=8)
+        # One dimension exactly one past a tile boundary, one well inside.
+        m = 16 * int(rng.integers(1, 4)) + 1
+        k = 8 * int(rng.integers(1, 4)) + int(rng.integers(1, 8))
+        n = 16 * int(rng.integers(1, 4)) + 15
+        a = random_sparse_matrix((m, k), 0.3, rng)
+        b = random_sparse_matrix((k, n), 0.3, rng)
+        assert_identical(a, b, config=config)
+
+    def test_all_nonfinite_operands(self):
+        a = np.full((40, 24), np.inf)
+        b = np.full((24, 40), -np.inf)
+        reference = device_spgemm(a, b, backend="reference")
+        vectorized = device_spgemm(a, b, backend="vectorized")
+        assert np.array_equal(reference.output, vectorized.output, equal_nan=True)
+        assert reference.stats == vectorized.stats
+
+
 class TestBackendThroughApi:
     def test_spgemm_backends_agree(self, rng):
         a = random_sparse_matrix((64, 48), 0.3, rng)

@@ -190,11 +190,15 @@ class TestReportAndRunner:
     def test_format_rows_empty(self):
         assert "(no rows)" in format_rows([], title="empty")
 
-    def test_runner_quick_subset(self, capsys):
+    def test_runner_quick_subset(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         assert runner_main(["--quick", "table2", "table4"]) == 0
         captured = capsys.readouterr().out
         assert "table2" in captured and "table4" in captured
 
-    def test_runner_rejects_unknown_experiment(self):
-        with pytest.raises(SystemExit):
-            runner_main(["nonexistent"])
+    def test_runner_rejects_unknown_experiment(self, capsys):
+        assert runner_main(["nonexistent"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown experiment" in captured.err
+        assert "nonexistent" in captured.err
+        assert captured.out == ""

@@ -1,0 +1,78 @@
+"""Golden-snapshot regression tests for every experiment's quick mode.
+
+Each registered experiment's quick-mode rows are pinned, value-exact, to
+``tests/experiments/golden/<case>.json`` — the same normalized rows the
+runner prints and the result cache stores, so any drift in a paper table
+(a refactor changing a count, a cost-model tweak shifting a speedup)
+fails here before it silently lands in the report.
+
+Regenerating after an *intentional* change::
+
+    PYTHONPATH=src python -m pytest tests/experiments/test_golden.py --update-golden
+    git diff tests/experiments/golden/   # review the drift, then commit
+
+Non-V100 coverage: a few device-aware experiments are additionally
+pinned under the A100 / T4 / Jetson presets, locking the sweep runtime's
+per-device paths down as well.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.runtime.executor import ExperimentTask, execute_task
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Every experiment in quick mode on the default device, plus non-V100
+#: scenario coverage for device-aware experiments.
+CASES: list[ExperimentTask] = [
+    ExperimentTask(experiment=name, quick=True) for name in EXPERIMENTS
+] + [
+    ExperimentTask(experiment="fig21", quick=True, gpu="a100"),
+    ExperimentTask(experiment="fig19", quick=True, gpu="t4"),
+    ExperimentTask(experiment="fig6", quick=True, gpu="jetson-xavier"),
+]
+
+
+def case_id(task: ExperimentTask) -> str:
+    return task.experiment if task.gpu is None else f"{task.experiment}@{task.gpu}"
+
+
+@pytest.mark.parametrize("task", CASES, ids=case_id)
+def test_golden_snapshot(task, request):
+    rows = execute_task(task)
+    path = GOLDEN_DIR / f"{case_id(task)}.json"
+    if request.config.getoption("--update-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(rows, indent=1) + "\n", encoding="utf-8")
+        pytest.skip(f"golden snapshot regenerated: {path.name}")
+    assert path.exists(), (
+        f"missing golden snapshot {path.name}; generate it with "
+        "`python -m pytest tests/experiments/test_golden.py --update-golden`"
+    )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    assert rows == expected, (
+        f"{case_id(task)} drifted from its golden snapshot; if intentional, "
+        "rerun with --update-golden and commit the diff"
+    )
+
+
+def _golden(name: str):
+    return json.loads((GOLDEN_DIR / f"{name}.json").read_text(encoding="utf-8"))
+
+
+def test_device_axis_shifts_jetson_fig6_snapshot():
+    """The per-device snapshots must actually exercise the device axis:
+    8 SMs vs 80 shifts Figure 6's issue-limited time."""
+    assert _golden("fig6@jetson-xavier") != _golden("fig6")
+
+
+def test_t4_fig19_snapshot_equals_v100_by_design():
+    """T4 deliberately keeps the V100 accumulation-buffer geometry
+    (32 banks, 16 ports), so its Figure 19 replay is pinned identical."""
+    assert _golden("fig19@t4") == _golden("fig19")

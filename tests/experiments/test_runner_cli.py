@@ -1,0 +1,86 @@
+"""CLI tests for ``python -m repro.experiments.runner``.
+
+Cover the satellite contract (unknown names rejected with a clear error
+and nonzero exit; ``--list``) and the tentpole guarantees (cached and
+parallel invocations print byte-identical tables).
+"""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.runner import main as runner_main
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    """Every test gets a private cache root."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+
+def run_cli(capsys, *argv):
+    code = runner_main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestListAndErrors:
+    def test_list_shows_every_experiment(self, capsys):
+        code, out, _ = run_cli(capsys, "--list")
+        assert code == 0
+        for name, spec in EXPERIMENTS.items():
+            assert name in out
+            assert spec.description in out
+
+    def test_unknown_experiment_nonzero_exit_and_clear_error(self, capsys):
+        code, out, err = run_cli(capsys, "tabel3")  # typo on purpose
+        assert code == 2
+        assert out == ""
+        assert "unknown experiment" in err
+        assert "tabel3" in err
+        assert "table3" in err  # the error lists what IS available
+
+    def test_unknown_gpu_preset_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "--quick", "--gpu", "h100", "table2")
+        assert code == 2
+        assert "h100" in err
+
+    def test_invalid_jobs_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "--jobs", "0", "table2")
+        assert code == 2
+        assert "--jobs" in err
+
+
+class TestCachedAndParallelIdentity:
+    def test_cached_rerun_is_byte_identical(self, capsys):
+        code, first, _ = run_cli(capsys, "--quick", "table3", "fig19")
+        assert code == 0
+        code, second, err = run_cli(capsys, "--quick", "table3", "fig19")
+        assert code == 0
+        assert second == first
+        assert "2 cache hit(s)" in err
+
+    def test_no_cache_still_identical_output(self, capsys):
+        _, cached_run, _ = run_cli(capsys, "--quick", "fig19")
+        _, uncached_run, err = run_cli(capsys, "--quick", "--no-cache", "fig19")
+        assert uncached_run == cached_run
+        assert "0 cache hit(s)" in err
+
+    def test_parallel_output_matches_serial(self, capsys):
+        _, serial, _ = run_cli(capsys, "--quick", "--no-cache", "table2", "fig5", "fig19")
+        _, parallel, _ = run_cli(
+            capsys, "--quick", "--no-cache", "--jobs", "2", "table2", "fig5", "fig19"
+        )
+        assert parallel == serial
+
+    def test_gpu_flag_runs_per_preset_with_titles(self, capsys):
+        code, out, _ = run_cli(
+            capsys, "--quick", "--gpu", "a100", "--gpu", "t4", "fig19"
+        )
+        assert code == 0
+        assert "=== fig19 @ a100 ===" in out
+        assert "=== fig19 @ t4 ===" in out
+
+    def test_diagnostics_go_to_stderr_not_stdout(self, capsys):
+        _, out, err = run_cli(capsys, "--quick", "table2")
+        assert "[runner]" in err
+        assert "[runner]" not in out

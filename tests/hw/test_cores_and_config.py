@@ -4,7 +4,15 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError, ShapeError
-from repro.hw.config import GpuConfig, V100_CONFIG
+from repro.hw.config import (
+    A100_CONFIG,
+    GPU_PRESETS,
+    GpuConfig,
+    JETSON_XAVIER_CONFIG,
+    T4_CONFIG,
+    V100_CONFIG,
+    get_gpu_config,
+)
 from repro.hw.otc import OuterProductTensorCore, OuterProductTensorCorePair
 from repro.hw.sparse_tc import a100_sparse_tensor_core, vector_wise_sparse_tensor_core
 from repro.hw.tensor_core import InnerProductTensorCore
@@ -31,6 +39,49 @@ class TestGpuConfig:
             GpuConfig(num_sms=0)
         with pytest.raises(ConfigError):
             GpuConfig(clock_ghz=-1)
+
+
+class TestGpuPresets:
+    def test_presets_registered(self):
+        assert GPU_PRESETS == {
+            "v100": V100_CONFIG,
+            "a100": A100_CONFIG,
+            "t4": T4_CONFIG,
+            "jetson-xavier": JETSON_XAVIER_CONFIG,
+        }
+
+    def test_a100_totals(self):
+        assert A100_CONFIG.total_tensor_cores == 432
+        assert A100_CONFIG.tensor_macs_per_cycle == 432 * 256
+        # Third-gen Tensor Cores: ~312 TFLOPS dense FP16.
+        assert A100_CONFIG.tensor_peak_tflops == pytest.approx(312, rel=0.01)
+
+    def test_t4_is_smaller_and_slower_than_v100(self):
+        assert T4_CONFIG.tensor_macs_per_cycle < V100_CONFIG.tensor_macs_per_cycle
+        assert T4_CONFIG.dram_bandwidth_gbs < V100_CONFIG.dram_bandwidth_gbs
+        assert T4_CONFIG.tdp_w == 70.0
+
+    def test_embedded_preset_shrinks_everything(self):
+        assert JETSON_XAVIER_CONFIG.num_sms == 8
+        assert JETSON_XAVIER_CONFIG.ohmma_slots_per_cycle == 32
+        assert JETSON_XAVIER_CONFIG.accumulation_banks == 16
+        assert JETSON_XAVIER_CONFIG.accumulation_ports == 8
+
+    def test_get_gpu_config_case_insensitive(self):
+        assert get_gpu_config("A100") is A100_CONFIG
+        assert get_gpu_config(" t4 ") is T4_CONFIG
+
+    def test_get_gpu_config_overrides(self):
+        config = get_gpu_config("v100", {"accumulation_buffer_kb": 8})
+        assert config.accumulation_buffer_kb == 8
+        assert config.num_sms == V100_CONFIG.num_sms
+        assert V100_CONFIG.accumulation_buffer_kb == 4  # preset untouched
+
+    def test_get_gpu_config_rejects_unknowns(self):
+        with pytest.raises(ConfigError):
+            get_gpu_config("h100")
+        with pytest.raises(ConfigError):
+            get_gpu_config("v100", {"not_a_field": 1})
 
 
 class TestInnerProductTensorCore:

@@ -1,0 +1,96 @@
+"""Tests for the content-addressed result cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.cache import CACHE_SCHEMA, ResultCache, code_version, normalize_rows
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path)
+
+
+class TestCodeVersion:
+    def test_stable_within_process(self):
+        assert code_version() == code_version()
+
+    def test_is_a_sha256_hex_digest(self):
+        digest = code_version()
+        assert len(digest) == 64
+        int(digest, 16)  # raises if not hex
+
+
+class TestKeys:
+    def test_key_depends_on_experiment_and_params(self):
+        base = ResultCache.key("fig21", {"quick": True})
+        assert ResultCache.key("fig22", {"quick": True}) != base
+        assert ResultCache.key("fig21", {"quick": False}) != base
+        assert ResultCache.key("fig21", {"quick": True}) == base
+
+    def test_key_insensitive_to_dict_order(self):
+        a = ResultCache.key("fig21", {"x": 1, "y": 2})
+        b = ResultCache.key("fig21", {"y": 2, "x": 1})
+        assert a == b
+
+
+class TestNormalizeRows:
+    def test_numpy_scalars_become_python(self):
+        rows = normalize_rows(
+            [{"i": np.int64(3), "f": np.float64(0.5), "b": np.bool_(True)}]
+        )
+        assert rows == [{"i": 3, "f": 0.5, "b": True}]
+        assert type(rows[0]["i"]) is int
+        assert type(rows[0]["f"]) is float
+        assert type(rows[0]["b"]) is bool
+
+    def test_tuples_fold_to_lists(self):
+        assert normalize_rows([{"t": (1, 2)}]) == [{"t": [1, 2]}]
+
+    def test_ndarrays_fold_to_nested_lists(self):
+        rows = normalize_rows([{"v": np.array([1, 2]), "m": np.eye(2)}])
+        assert rows == [{"v": [1, 2], "m": [[1.0, 0.0], [0.0, 1.0]]}]
+
+    def test_column_order_preserved(self):
+        rows = normalize_rows([{"z": 1, "a": 2}])
+        assert list(rows[0]) == ["z", "a"]
+
+    def test_json_round_trip_is_exact(self):
+        rows = normalize_rows([{"f": 0.1 + 0.2, "i": 2**53, "s": "x", "n": None}])
+        assert json.loads(json.dumps(rows)) == rows
+
+
+class TestLoadStore:
+    def test_miss_returns_none(self, cache):
+        assert cache.load("0" * 64) is None
+
+    def test_store_then_load(self, cache):
+        rows = [{"a": 1.5, "b": "x"}]
+        key = cache.key("table2", {"quick": True})
+        cache.store(key, "table2", {"quick": True}, rows)
+        assert cache.load(key) == rows
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        key = cache.key("table2", {})
+        path = cache.store(key, "table2", {}, [{"a": 1}])
+        path.write_text("{not json", encoding="utf-8")
+        assert cache.load(key) is None
+
+    def test_schema_mismatch_is_a_miss(self, cache):
+        key = cache.key("table2", {})
+        path = cache.store(key, "table2", {}, [{"a": 1}])
+        entry = json.loads(path.read_text(encoding="utf-8"))
+        entry["schema"] = CACHE_SCHEMA + 1
+        path.write_text(json.dumps(entry), encoding="utf-8")
+        assert cache.load(key) is None
+
+    def test_entries_sharded_by_key_prefix(self, cache):
+        key = cache.key("table2", {})
+        path = cache.store(key, "table2", {}, [])
+        assert path.parent.name == key[:2]
+
+    def test_env_var_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-root"))
+        assert ResultCache().root == tmp_path / "env-root"

@@ -1,0 +1,187 @@
+"""Tests for the task executor and the sweep-grid API."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import ExperimentTask, execute_task, run_tasks
+from repro.runtime.sweep import SweepSpec, run_sweep
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path)
+
+
+class TestExecuteTask:
+    def test_runs_registered_experiment(self):
+        rows = execute_task(ExperimentTask(experiment="table2"))
+        assert len(rows) == 5
+        assert all(isinstance(row, dict) for row in rows)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ConfigError):
+            execute_task(ExperimentTask(experiment="nope"))
+
+    def test_gpu_preset_changes_device_aware_rows(self):
+        v100 = execute_task(ExperimentTask(experiment="fig6", quick=True))
+        jetson = execute_task(
+            ExperimentTask(experiment="fig6", quick=True, gpu="jetson-xavier")
+        )
+        assert v100 != jetson
+        # Instruction counts are device-independent; only timing shifts.
+        assert [row["ohmma_issued"] for row in v100] == [
+            row["ohmma_issued"] for row in jetson
+        ]
+
+    def test_explicit_v100_matches_default(self):
+        default = execute_task(ExperimentTask(experiment="fig6", quick=True))
+        explicit = execute_task(ExperimentTask(experiment="fig6", quick=True, gpu="v100"))
+        assert default == explicit
+
+    def test_gpu_override_design_point(self):
+        stock = execute_task(ExperimentTask(experiment="fig19", quick=True))
+        narrow = execute_task(
+            ExperimentTask(
+                experiment="fig19",
+                quick=True,
+                gpu="v100",
+                gpu_overrides={"accumulation_banks": 4, "accumulation_ports": 2},
+            )
+        )
+        assert narrow != stock
+
+    def test_sweep_param_forwarded(self):
+        small = execute_task(
+            ExperimentTask(experiment="fig5", quick=True, params={"k_steps": 8})
+        )
+        default = execute_task(ExperimentTask(experiment="fig5", quick=True))
+        assert small != default
+
+    def test_unsupported_param_rejected(self):
+        with pytest.raises(ConfigError):
+            execute_task(
+                ExperimentTask(experiment="table2", params={"size": 1})
+            )
+
+
+class TestRunTasks:
+    TASKS = [
+        ExperimentTask(experiment="table2"),
+        ExperimentTask(experiment="fig19", quick=True),
+        ExperimentTask(experiment="fig5", quick=True),
+    ]
+
+    def test_results_keep_task_order(self, cache):
+        results = run_tasks(self.TASKS, cache=cache)
+        assert [result.task.experiment for result in results] == [
+            "table2",
+            "fig19",
+            "fig5",
+        ]
+
+    def test_second_run_hits_cache_with_identical_rows(self, cache):
+        first = run_tasks(self.TASKS, cache=cache)
+        second = run_tasks(self.TASKS, cache=cache)
+        assert all(not result.cached for result in first)
+        assert all(result.cached for result in second)
+        assert [result.rows for result in first] == [result.rows for result in second]
+
+    def test_durations_are_per_task(self, cache):
+        results = run_tasks(self.TASKS, cache=None)
+        assert all(result.duration_s > 0 for result in results)
+        # Per-task timings, not the shared batch wall time.
+        assert len({result.duration_s for result in results}) == len(results)
+
+    def test_no_cache_recomputes(self, cache):
+        run_tasks(self.TASKS, cache=cache)
+        again = run_tasks(self.TASKS, cache=None)
+        assert all(not result.cached for result in again)
+
+    def test_parallel_matches_serial(self, cache):
+        serial = run_tasks(self.TASKS, jobs=1, cache=None)
+        parallel = run_tasks(self.TASKS, jobs=2, cache=None)
+        assert [result.rows for result in serial] == [
+            result.rows for result in parallel
+        ]
+
+    def test_unknown_name_fails_fast_before_executing(self, cache):
+        tasks = [ExperimentTask(experiment="nope"), ExperimentTask(experiment="table2")]
+        with pytest.raises(ConfigError):
+            run_tasks(tasks, cache=cache)
+        # Nothing was stored: the bad name aborted before any execution.
+        assert not any(cache.root.rglob("*.json"))
+
+
+class TestSweepSpec:
+    def test_expand_crosses_gpus_and_design_points(self):
+        spec = SweepSpec(
+            experiments=("fig19",),
+            gpus=("v100", "t4"),
+            gpu_overrides=({}, {"accumulation_buffer_kb": 8}),
+            quick=True,
+        )
+        tasks = spec.expand()
+        assert len(tasks) == 4
+        assert {task.gpu for task in tasks} == {"v100", "t4"}
+
+    def test_param_grid_filtered_per_experiment(self):
+        spec = SweepSpec(
+            experiments=("fig21", "table4"),
+            params={"size": (256, 512)},
+            quick=True,
+        )
+        tasks = spec.expand()
+        # fig21 sweeps size; table4 has no such knob and runs once.
+        assert len([t for t in tasks if t.experiment == "fig21"]) == 2
+        assert len([t for t in tasks if t.experiment == "table4"]) == 1
+
+    def test_unknown_gpu_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(experiments=("fig21",), gpus=("h100",)).expand()
+
+    def test_unknown_experiment_rejected_eagerly(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(experiments=("nope",)).expand()
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            SweepSpec(experiments=()).expand()
+
+    def test_empty_param_axis_rejected(self):
+        # An axis with zero values must not silently fall back to the
+        # experiment's default workload.
+        with pytest.raises(ConfigError):
+            SweepSpec(experiments=("fig21",), params={"size": ()}).expand()
+
+
+class TestRunSweep:
+    def test_every_experiment_on_two_non_v100_presets(self, cache):
+        """Acceptance: the whole registry runs under non-V100 presets."""
+        from repro.experiments.registry import EXPERIMENTS
+
+        spec = SweepSpec(
+            experiments=tuple(EXPERIMENTS),
+            gpus=("a100", "t4"),
+            quick=True,
+        )
+        result = run_sweep(spec, cache=cache)
+        assert len(result.results) == 2 * len(EXPERIMENTS)
+        assert all(result_.rows for result_ in result.results)
+
+    def test_rows_tagged_with_scenario(self, cache):
+        spec = SweepSpec(
+            experiments=("fig19",),
+            gpus=("v100", "jetson-xavier"),
+            gpu_overrides=({"accumulation_buffer_kb": 8},),
+            quick=True,
+        )
+        rows = run_sweep(spec, cache=cache).rows()
+        assert {row["gpu"] for row in rows} == {"v100", "jetson-xavier"}
+        assert all(row["experiment"] == "fig19" for row in rows)
+        assert all(row["gpu.accumulation_buffer_kb"] == 8 for row in rows)
+
+    def test_cache_hits_counted(self, cache):
+        spec = SweepSpec(experiments=("fig5",), quick=True)
+        assert run_sweep(spec, cache=cache).cache_hits == 0
+        assert run_sweep(spec, cache=cache).cache_hits == 1
