@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Smoke-test CI: the tier-1 test suite, a doctest pass over the README
 # quickstart snippets, the golden-snapshot regression suite (fails on
-# any paper-table drift) and a parallel + cached runner smoke pass that
-# must print byte-identical tables on the cached re-run.
+# any paper-table drift), the im2col engine parity suite, the
+# conv-pipeline speedup benchmark (keeps the spconv speedup trajectory
+# JSON populated) and a parallel + cached runner smoke pass that must
+# print byte-identical tables on the cached re-run.
 # Run from anywhere; no arguments.
 set -euo pipefail
 
@@ -17,6 +19,12 @@ python -m pytest -q --doctest-glob=README.md README.md
 
 echo "== golden-snapshot regression suite =="
 python -m pytest -q tests/experiments/test_golden.py
+
+echo "== im2col engine parity suite (vectorized vs reference oracles) =="
+python -m pytest -q tests/core/test_im2col_engines.py tests/core/test_im2col.py
+
+echo "== spconv speedup benchmark (quick: full-res Table III layer) =="
+python -m pytest -q benchmarks/test_spconv_speedup.py
 
 echo "== runner smoke: --quick --jobs 2 --cache, cached re-run byte-identical =="
 smoke_dir="$(mktemp -d)"

@@ -208,13 +208,19 @@ def sparse_im2col(
     kernel: int,
     stride: int = 1,
     padding: int = 0,
+    backend: str = "vectorized",
 ) -> BitmapIm2colResult:
     """Bitmap-based implicit sparse im2col (Figure 11).
 
     Returns the lowered feature map both densely and in the condensed
     bitmap encoding, plus the register-level operation counts.
+    ``backend="vectorized"`` (default) runs the word-level engine;
+    ``backend="reference"`` the original per-row loop — bit-identical
+    either way.
     """
-    return bitmap_im2col(feature_map, kernel, stride=stride, padding=padding)
+    return bitmap_im2col(
+        feature_map, kernel, stride=stride, padding=padding, backend=backend
+    )
 
 
 def spconv(
@@ -233,8 +239,8 @@ def spconv(
         stride: spatial stride.
         padding: symmetric zero padding.
         config: warp-tile geometry forwarded to the SpGEMM stage.
-        backend: SpGEMM execution backend — ``"vectorized"`` (default) or
-            ``"reference"``.
+        backend: execution backend of the whole pipeline (im2col *and*
+            SpGEMM) — ``"vectorized"`` (default) or ``"reference"``.
     """
     result = sparse_conv2d(
         feature_map,

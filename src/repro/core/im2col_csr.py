@@ -9,6 +9,11 @@ two data-dependent reads (``indptr`` then a scan/binary search of
 this to be one to two orders of magnitude slower than dense im2col at
 moderate sparsity (Table III); :mod:`repro.kernels.im2col_cost` charges
 exactly the operation counts reported here.
+
+``backend="vectorized"`` (the default) produces the lowered matrix with
+one strided-window gather and the statistics with the closed-form
+counters of :func:`count_csr_im2col_ops`; ``backend="reference"`` keeps
+the original per-lookup Python loop as the bit-exact oracle.
 """
 
 from __future__ import annotations
@@ -17,6 +22,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.im2col_engine import (
+    check_im2col_backend,
+    lower_windows,
+    pad_feature_map,
+)
 from repro.core.reference import conv_output_shape
 from repro.errors import ShapeError
 from repro.formats.csr import CsrMatrix
@@ -60,6 +70,7 @@ def csr_im2col(
     kernel: int,
     stride: int = 1,
     padding: int = 0,
+    backend: str = "vectorized",
 ) -> tuple[np.ndarray, CsrIm2colStats]:
     """Sparse im2col on a CSR-encoded feature map.
 
@@ -73,19 +84,25 @@ def csr_im2col(
         kernel: square kernel size K.
         stride: spatial stride.
         padding: symmetric zero padding.
+        backend: ``"vectorized"`` (default) or ``"reference"`` (the
+            original per-lookup loop); identical lowered matrix and
+            statistics either way.
 
     Returns:
         ``(lowered, stats)`` where ``lowered`` has shape (OH*OW, K*K*C).
     """
+    check_im2col_backend(backend)
     feature_map = np.asarray(feature_map)
     if feature_map.ndim != 3:
         raise ShapeError(f"feature_map must be (C, H, W), got {feature_map.shape}")
     channels, height, width = feature_map.shape
     out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
-    if padding:
-        feature_map = np.pad(
-            feature_map, ((0, 0), (padding, padding), (padding, padding))
-        )
+    if backend == "vectorized":
+        stats = count_csr_im2col_ops(feature_map != 0, kernel, stride, padding)
+        padded = pad_feature_map(feature_map, padding)
+        lowered = lower_windows(padded, kernel, stride, out_h, out_w)
+        return lowered, stats
+    feature_map = pad_feature_map(feature_map, padding)
     csr_channels = encode_feature_map_csr(feature_map)
 
     stats = CsrIm2colStats()

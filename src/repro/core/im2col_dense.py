@@ -12,6 +12,10 @@ their accounting (the numeric result is identical):
   costing roughly K*K times the feature-map footprint in extra traffic;
 * **implicit** im2col performs the address conversion on the fly in
   on-chip memory, never writing the lowered matrix out.
+
+``backend="vectorized"`` (the default) lowers the whole feature map with
+one strided-window gather; ``backend="reference"`` keeps the original
+per-column loop as the bit-exact oracle.
 """
 
 from __future__ import annotations
@@ -20,6 +24,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.im2col_engine import (
+    check_im2col_backend,
+    lower_windows,
+    pad_feature_map,
+)
 from repro.core.reference import conv_output_shape
 from repro.errors import ShapeError
 
@@ -66,35 +75,46 @@ def dense_im2col(
     kernel: int,
     stride: int = 1,
     padding: int = 0,
+    backend: str = "vectorized",
 ) -> tuple[np.ndarray, Im2colStats]:
     """Lower a dense (C, H, W) feature map to a (OH*OW, K*K*C) matrix.
 
     Column ``c*K*K + ki*K + kj`` of the lowered matrix holds, for every
     output position, the input element at channel ``c`` and kernel offset
     ``(ki, kj)``.
+
+    Args:
+        feature_map: dense (C, H, W) input.
+        kernel: square kernel size K.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        backend: ``"vectorized"`` (default, one strided-window gather) or
+            ``"reference"`` (the original per-column loop); identical
+            output either way.
     """
+    check_im2col_backend(backend)
     feature_map = np.asarray(feature_map)
     if feature_map.ndim != 3:
         raise ShapeError(f"feature_map must be (C, H, W), got {feature_map.shape}")
     channels, height, width = feature_map.shape
     out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
-    if padding:
-        feature_map = np.pad(
-            feature_map, ((0, 0), (padding, padding), (padding, padding))
+    feature_map = pad_feature_map(feature_map, padding)
+    if backend == "vectorized":
+        lowered = lower_windows(feature_map, kernel, stride, out_h, out_w)
+    else:
+        lowered = np.zeros(
+            (out_h * out_w, kernel * kernel * channels), dtype=feature_map.dtype
         )
-    lowered = np.zeros(
-        (out_h * out_w, kernel * kernel * channels), dtype=feature_map.dtype
-    )
-    for c in range(channels):
-        for ki in range(kernel):
-            for kj in range(kernel):
-                col = c * kernel * kernel + ki * kernel + kj
-                window = feature_map[
-                    c,
-                    ki : ki + stride * out_h : stride,
-                    kj : kj + stride * out_w : stride,
-                ]
-                lowered[:, col] = window.reshape(-1)
+        for c in range(channels):
+            for ki in range(kernel):
+                for kj in range(kernel):
+                    col = c * kernel * kernel + ki * kernel + kj
+                    window = feature_map[
+                        c,
+                        ki : ki + stride * out_h : stride,
+                        kj : kj + stride * out_w : stride,
+                    ]
+                    lowered[:, col] = window.reshape(-1)
     total = lowered.size
     return lowered, Im2colStats(
         element_reads=total, element_writes=total, lowered_shape=lowered.shape

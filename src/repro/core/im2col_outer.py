@@ -12,6 +12,11 @@ Consecutive columns of the same kernel row therefore read overlapping
 segments of the same feature-map row — which is exactly the data-reuse
 property the bitmap-based sparse im2col exploits (it keeps one bitmap row
 in registers and derives several lowered columns from it by shifting).
+
+``backend="vectorized"`` (the default) materialises the lowered matrix
+with one strided-window gather and only enumerates the (cheap) schedule
+descriptors in Python; ``backend="reference"`` keeps the original
+column-by-column loop as the bit-exact oracle.
 """
 
 from __future__ import annotations
@@ -21,6 +26,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.im2col_dense import Im2colStats
+from repro.core.im2col_engine import (
+    check_im2col_backend,
+    lower_windows,
+    pad_feature_map,
+)
 from repro.core.reference import conv_output_shape
 from repro.errors import ShapeError
 
@@ -63,11 +73,38 @@ class OuterIm2colResult:
     row_loads: int
 
 
+def _column_schedule(
+    channels: int, kernel: int, stride: int, out_h: int
+) -> tuple[tuple[ColumnDescriptor, ...], int]:
+    """Generation-order column descriptors plus the row-load tally.
+
+    The schedule depends only on the geometry, so both backends share
+    this enumeration (it is what the reference loop appends as it goes).
+    """
+    per_kernel_row = tuple(
+        tuple(ki + i * stride for i in range(out_h)) for ki in range(kernel)
+    )
+    schedule = tuple(
+        ColumnDescriptor(
+            column=c * kernel * kernel + ki * kernel + kj,
+            channel=c,
+            kernel_row=ki,
+            kernel_col=kj,
+            source_rows=per_kernel_row[ki],
+        )
+        for c in range(channels)
+        for ki in range(kernel)
+        for kj in range(kernel)
+    )
+    return schedule, channels * kernel * out_h
+
+
 def outer_friendly_im2col(
     feature_map: np.ndarray,
     kernel: int,
     stride: int = 1,
     padding: int = 0,
+    backend: str = "vectorized",
 ) -> OuterIm2colResult:
     """Produce the lowered feature map column by column.
 
@@ -75,51 +112,63 @@ def outer_friendly_im2col(
     columns — so all columns derived from the same feature-map rows are
     generated back to back and the row data is loaded only once
     (``row_loads`` counts those loads).
+
+    Args:
+        feature_map: dense (C, H, W) input.
+        kernel: square kernel size K.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        backend: ``"vectorized"`` (default) or ``"reference"`` (the
+            original column loop); identical lowered matrix, schedule
+            and statistics either way.
     """
+    check_im2col_backend(backend)
     feature_map = np.asarray(feature_map)
     if feature_map.ndim != 3:
         raise ShapeError(f"feature_map must be (C, H, W), got {feature_map.shape}")
     channels, height, width = feature_map.shape
     out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
-    if padding:
-        feature_map = np.pad(
-            feature_map, ((0, 0), (padding, padding), (padding, padding))
+    feature_map = pad_feature_map(feature_map, padding)
+    if backend == "vectorized":
+        lowered = lower_windows(feature_map, kernel, stride, out_h, out_w)
+        schedule, row_loads = _column_schedule(channels, kernel, stride, out_h)
+    else:
+        lowered = np.zeros(
+            (out_h * out_w, kernel * kernel * channels), dtype=feature_map.dtype
         )
-    lowered = np.zeros(
-        (out_h * out_w, kernel * kernel * channels), dtype=feature_map.dtype
-    )
-    schedule: list[ColumnDescriptor] = []
-    row_loads = 0
-    for c in range(channels):
-        for ki in range(kernel):
-            # One pass over the feature-map rows used by this kernel row;
-            # every kj shares them (the zig-zag reuse of Figure 10b).
-            source_rows = tuple(ki + i * stride for i in range(out_h))
-            row_loads += len(source_rows)
-            for kj in range(kernel):
-                col = c * kernel * kernel + ki * kernel + kj
-                window = feature_map[
-                    c,
-                    ki : ki + stride * out_h : stride,
-                    kj : kj + stride * out_w : stride,
-                ]
-                lowered[:, col] = window.reshape(-1)
-                schedule.append(
-                    ColumnDescriptor(
-                        column=col,
-                        channel=c,
-                        kernel_row=ki,
-                        kernel_col=kj,
-                        source_rows=source_rows,
+        schedule_list: list[ColumnDescriptor] = []
+        row_loads = 0
+        for c in range(channels):
+            for ki in range(kernel):
+                # One pass over the feature-map rows used by this kernel
+                # row; every kj shares them (the zig-zag of Figure 10b).
+                source_rows = tuple(ki + i * stride for i in range(out_h))
+                row_loads += len(source_rows)
+                for kj in range(kernel):
+                    col = c * kernel * kernel + ki * kernel + kj
+                    window = feature_map[
+                        c,
+                        ki : ki + stride * out_h : stride,
+                        kj : kj + stride * out_w : stride,
+                    ]
+                    lowered[:, col] = window.reshape(-1)
+                    schedule_list.append(
+                        ColumnDescriptor(
+                            column=col,
+                            channel=c,
+                            kernel_row=ki,
+                            kernel_col=kj,
+                            source_rows=source_rows,
+                        )
                     )
-                )
+        schedule = tuple(schedule_list)
     stats = Im2colStats(
         element_reads=row_loads * out_w,
         element_writes=lowered.size,
         lowered_shape=lowered.shape,
     )
     return OuterIm2colResult(
-        lowered=lowered, schedule=tuple(schedule), stats=stats, row_loads=row_loads
+        lowered=lowered, schedule=schedule, stats=stats, row_loads=row_loads
     )
 
 

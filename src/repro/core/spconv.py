@@ -71,8 +71,11 @@ def sparse_conv2d(
         stride: spatial stride.
         padding: symmetric zero padding.
         config: warp tile geometry forwarded to the SpGEMM.
-        backend: SpGEMM execution backend — ``"vectorized"`` (default) or
-            ``"reference"`` (the original Python tile loop).
+        backend: execution backend of the *whole* pipeline —
+            ``"vectorized"`` (default) chains the word-level im2col
+            engine into the vectorized SpGEMM engine, ``"reference"``
+            runs the original Python loops end to end.  Both produce
+            bit-identical output and statistics.
 
     Returns:
         The (N, OH, OW) output feature map plus pipeline statistics.  The
@@ -93,7 +96,9 @@ def sparse_conv2d(
     channels, height, width = feature_map.shape
     out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
 
-    im2col_result = bitmap_im2col(feature_map, kernel, stride, padding)
+    im2col_result = bitmap_im2col(
+        feature_map, kernel, stride, padding, backend=backend
+    )
     flat_weights = flatten_weights(weights)
     gemm_result = device_spgemm(
         im2col_result.lowered, flat_weights, config=config, backend=backend

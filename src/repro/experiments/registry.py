@@ -166,6 +166,14 @@ _SPECS = (
         quick={"scale": 0.0625},
         sweepable=frozenset({"models", "scale", "backend"}),
     ),
+    ExperimentSpec(
+        name="spconv",
+        module="repro.experiments.spconv_pipeline",
+        func="run_spconv",
+        description="Full-resolution dual-side conv through the im2col engines",
+        quick={"sparsities": [0.75, 0.99]},
+        sweepable=frozenset({"sparsities", "weight_sparsity", "backend"}),
+    ),
 )
 
 #: Registered experiments in canonical (report) order.

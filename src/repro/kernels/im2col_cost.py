@@ -85,6 +85,27 @@ class Im2colCostModel:
             + stats.value_reads * per_value
         )
 
+    def cost(
+        self, stats: "Im2colStats | CsrIm2colStats | BitmapIm2colStats"
+    ) -> float:
+        """Cost of one im2col execution, dispatched on the stats type.
+
+        The calibration hook of the vectorized conv pipeline: every
+        im2col engine returns its per-variant statistics dataclass, and
+        this single entry point charges the matching operation weights —
+        so experiment drivers (e.g. the ``spconv`` sweep) can cost
+        whichever variant they ran without hard-coding the dispatch.
+        """
+        if isinstance(stats, BitmapIm2colStats):
+            return self.bitmap_cost(stats)
+        if isinstance(stats, CsrIm2colStats):
+            return self.csr_cost(stats)
+        if isinstance(stats, Im2colStats):
+            return self.dense_cost(stats)
+        raise TypeError(
+            f"unsupported im2col stats type: {type(stats).__name__}"
+        )
+
     # ------------------------------------------------------------------ #
     # Conversion to decode cycles (for the implicit-conv kernels)
     # ------------------------------------------------------------------ #

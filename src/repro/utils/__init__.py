@@ -2,10 +2,12 @@
 
 from repro.utils.bitops import (
     pack_bits,
+    pack_bits_rows,
     unpack_bits,
     popcount,
     popcount_words,
     prefix_popcount,
+    prefix_popcount_words,
 )
 from repro.utils.tiling import ceil_div, pad_to_multiple, tile_ranges, num_tiles
 from repro.utils.validation import (
@@ -17,10 +19,12 @@ from repro.utils.validation import (
 
 __all__ = [
     "pack_bits",
+    "pack_bits_rows",
     "unpack_bits",
     "popcount",
     "popcount_words",
     "prefix_popcount",
+    "prefix_popcount_words",
     "ceil_div",
     "pad_to_multiple",
     "tile_ranges",

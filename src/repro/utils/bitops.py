@@ -17,6 +17,11 @@ from repro.errors import ShapeError
 #: Number of bits per bitmap storage word, matching a GPU register.
 WORD_BITS = 32
 
+#: Per-byte population counts, built once at import time — ``popcount_words``
+#: sits on the vectorized im2col hot path, so rebuilding the table per call
+#: would dominate small-word workloads.
+_BYTE_POPCOUNT = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
+
 
 def pack_bits(bits: np.ndarray) -> np.ndarray:
     """Pack a boolean vector into little-endian 32-bit words.
@@ -40,6 +45,52 @@ def pack_bits(bits: np.ndarray) -> np.ndarray:
     # numpy packbits is big-endian within a byte by default; request little.
     packed_bytes = np.packbits(padded, bitorder="little")
     return packed_bytes.view(np.uint32)
+
+
+def pack_bits_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack every row of a boolean matrix into little-endian 32-bit words.
+
+    The row-wise batch form of :func:`pack_bits`: bit ``w`` of row ``r``
+    maps to bit ``w % 32`` of word ``(r, w // 32)``, with the final word
+    of each row zero-padded.  This is how the word-level im2col engine
+    holds all (channel, feature-map row) bitmaps at once.
+
+    Args:
+        bits: two-dimensional boolean (or 0/1 integer) array.
+
+    Returns:
+        ``uint32`` array of shape ``(rows, ceil(cols / 32))``.
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ShapeError(f"pack_bits_rows expects a 2-D array, got shape {bits.shape}")
+    rows, width = bits.shape
+    n_words = (width + WORD_BITS - 1) // WORD_BITS
+    packed = np.packbits(bits.astype(bool), axis=1, bitorder="little")
+    pad = n_words * 4 - packed.shape[1]
+    if pad:
+        packed = np.pad(packed, ((0, 0), (0, pad)))
+    return np.ascontiguousarray(packed).view(np.uint32).reshape(rows, n_words)
+
+
+def prefix_popcount_words(words: np.ndarray) -> np.ndarray:
+    """Row-wise exclusive prefix sum of per-word population counts.
+
+    ``prefix_popcount_words(w)[r, i]`` is the number of set bits in words
+    ``0 .. i-1`` of row ``r`` — the word-granular form of the running
+    shifted-out-bit accumulation of Figure 11b, step S3.  Combined with a
+    low-bit mask + POPC inside word ``i`` it yields the condensed-array
+    offset of any bit position, for every row at once.
+    """
+    counts = popcount_words(words)
+    if counts.ndim != 2:
+        raise ShapeError(
+            f"prefix_popcount_words expects 2-D packed words, got {counts.shape}"
+        )
+    out = np.zeros_like(counts)
+    if counts.shape[1] > 1:
+        np.cumsum(counts[:, :-1], axis=1, out=out[:, 1:])
+    return out
 
 
 def unpack_bits(words: np.ndarray, length: int) -> np.ndarray:
@@ -68,11 +119,14 @@ def popcount(bits: np.ndarray) -> int:
 
 
 def popcount_words(words: np.ndarray) -> np.ndarray:
-    """Per-word population count of packed ``uint32`` words."""
+    """Per-word population count of packed ``uint32`` words.
+
+    Accepts any array shape and returns ``int64`` counts of the same
+    shape (one count per word).
+    """
     words = np.ascontiguousarray(words, dtype=np.uint32)
-    as_bytes = words.view(np.uint8).reshape(-1, 4)
-    table = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
-    return table[as_bytes].sum(axis=1).astype(np.int64)
+    as_bytes = words.view(np.uint8).reshape(words.shape + (4,))
+    return _BYTE_POPCOUNT[as_bytes].sum(axis=-1, dtype=np.int64)
 
 
 def prefix_popcount(bits: np.ndarray) -> np.ndarray:

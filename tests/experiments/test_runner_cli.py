@@ -31,6 +31,13 @@ class TestListAndErrors:
             assert name in out
             assert spec.description in out
 
+    def test_list_includes_spconv_experiment(self, capsys):
+        """The full-resolution conv pipeline is a first-class experiment."""
+        code, out, _ = run_cli(capsys, "--list")
+        assert code == 0
+        assert "spconv" in out
+        assert "Full-resolution dual-side conv" in out
+
     def test_unknown_experiment_nonzero_exit_and_clear_error(self, capsys):
         code, out, err = run_cli(capsys, "tabel3")  # typo on purpose
         assert code == 2

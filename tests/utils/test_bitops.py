@@ -10,9 +10,11 @@ from repro.utils.bitops import (
     bitmap_and,
     bitmap_outer,
     pack_bits,
+    pack_bits_rows,
     popcount,
     popcount_words,
     prefix_popcount,
+    prefix_popcount_words,
     unpack_bits,
 )
 
@@ -85,6 +87,47 @@ class TestPopcount:
         prefix = prefix_popcount(array)
         inclusive = np.cumsum(array)
         assert np.array_equal(prefix + array, inclusive)
+
+
+class TestRowWiseWordOps:
+    def test_pack_bits_rows_matches_per_row_pack(self):
+        rng = np.random.default_rng(2)
+        bits = rng.random((5, 70)) < 0.4
+        packed = pack_bits_rows(bits)
+        assert packed.dtype == np.uint32
+        assert packed.shape == (5, 3)
+        for r in range(bits.shape[0]):
+            assert np.array_equal(packed[r], pack_bits(bits[r]))
+
+    def test_pack_bits_rows_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            pack_bits_rows(np.zeros(8, dtype=bool))
+
+    def test_popcount_words_preserves_shape(self):
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 2**32, size=(4, 3), dtype=np.uint32)
+        counts = popcount_words(words)
+        assert counts.shape == words.shape
+        assert counts.dtype == np.int64
+
+    def test_prefix_popcount_words_is_exclusive_per_row(self):
+        bits = np.zeros((2, 96), dtype=bool)
+        bits[0, 0] = bits[0, 40] = bits[0, 70] = True
+        bits[1, 33] = True
+        prefix = prefix_popcount_words(pack_bits_rows(bits))
+        assert np.array_equal(prefix, [[0, 1, 2], [0, 0, 1]])
+
+    def test_prefix_popcount_words_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            prefix_popcount_words(np.zeros(3, dtype=np.uint32))
+
+    @given(st.integers(1, 6), st.integers(1, 130), st.integers(0, 5000))
+    @settings(max_examples=40, deadline=None)
+    def test_row_word_counts_match_scalar_popcount(self, rows, width, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.random((rows, width)) < 0.5
+        counts = popcount_words(pack_bits_rows(bits))
+        assert np.array_equal(counts.sum(axis=1), bits.sum(axis=1))
 
 
 class TestBitmapOps:
