@@ -30,7 +30,11 @@ def test_fig21_full_size_sweep(one_shot):
     assert _ours(rows, 0.4, 0.0)["speedup_vs_cutlass"] > 1.0
     assert _ours(rows, 0.999, 0.99)["speedup_vs_cutlass"] > 10.0
     best_baseline = min(
-        row["time_us"] for row in rows if not row["method"].startswith("Dual")
+        row["time_us"]
+        for row in rows
+        # Baselines only: exclude our modelled curves ("Dual...") and the
+        # executed numeric point ("ours-functional ...").
+        if not row["method"].startswith(("Dual", "ours"))
     )
     assert _ours(rows, 0.99, 0.99)["time_us"] < best_baseline
     assert cutlass["speedup_vs_cutlass"] == 1.0

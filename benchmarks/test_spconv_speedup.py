@@ -87,7 +87,13 @@ def test_bench_spconv_speedup_table3_layer(benchmark):
     )
     reference_seconds = time.perf_counter() - start
 
-    vectorized = benchmark(sparse_conv2d, feature_map, weights, STRIDE, PADDING)
+    # Pin backend="vectorized": this benchmark gates the *vectorized*
+    # pipeline's bit-identity with the reference loops; the default
+    # "auto" would route this lowered shape to the blocked engine.
+    vectorized = benchmark(
+        sparse_conv2d, feature_map, weights, STRIDE, PADDING,
+        backend="vectorized",
+    )
     # Best-of-N wall clock for the assertion below: a single sample is
     # too exposed to scheduler noise for a hard CI gate.
     vectorized_seconds = min(

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Smoke-test CI: the tier-1 test suite, a doctest pass over the README
 # quickstart snippets, the golden-snapshot regression suite (fails on
-# any paper-table drift), the im2col engine parity suite, the
-# conv-pipeline speedup benchmark (keeps the spconv speedup trajectory
-# JSON populated) and a parallel + cached runner smoke pass that must
-# print byte-identical tables on the cached re-run.
+# any paper-table drift), the im2col + blocked-engine parity suites,
+# the conv-pipeline and blocked-engine speedup benchmarks (keep the
+# speedup trajectory JSONs populated and gate the 2048^3 >= 5x blocked
+# advantage) and a parallel + cached runner smoke pass that must print
+# byte-identical tables on the cached re-run.
 # Run from anywhere; no arguments.
 set -euo pipefail
 
@@ -23,8 +24,14 @@ python -m pytest -q tests/experiments/test_golden.py
 echo "== im2col engine parity suite (vectorized vs reference oracles) =="
 python -m pytest -q tests/core/test_im2col_engines.py tests/core/test_im2col.py
 
+echo "== blocked engine parity suite (blocked vs vectorized vs reference) =="
+python -m pytest -q tests/core/test_engine_blocked.py tests/formats/test_vectorized_formats.py
+
 echo "== spconv speedup benchmark (quick: full-res Table III layer) =="
 python -m pytest -q benchmarks/test_spconv_speedup.py
+
+echo "== blocked engine speedup benchmark (1024^3/2048^3 + functional ResNet-18 scale=1.0) =="
+python -m pytest -q benchmarks/test_blocked_engine_speedup.py
 
 echo "== runner smoke: --quick --jobs 2 --cache, cached re-run byte-identical =="
 smoke_dir="$(mktemp -d)"

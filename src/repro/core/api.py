@@ -11,10 +11,16 @@ These are the entry points a downstream user is expected to call:
 * :func:`sparse_im2col` — the bitmap-based implicit sparse im2col, and
 * :func:`spconv` — dual-side sparse convolution.
 
-All functional entry points accept ``backend="vectorized"`` (the default
-NumPy engine, :mod:`repro.core.engine`) or ``backend="reference"`` (the
-original per-warp-tile Python loop, kept as a cross-check oracle).  Both
-backends produce identical numerics and identical statistics.
+All functional entry points accept ``backend="auto"`` (the default —
+the K-panel blocked engine of :mod:`repro.core.engine_blocked` for
+large shapes, the per-step vectorized engine of
+:mod:`repro.core.engine` otherwise), ``backend="blocked"`` /
+``backend="vectorized"`` to pin one engine, or ``backend="reference"``
+(the original per-warp-tile Python loop, kept as a cross-check
+oracle).  All backends produce identical statistics; numerics are
+bit-identical between the vectorized engine and the reference loop,
+and exact on integer-valued data (within 2 float32 ulps otherwise)
+for the blocked engine.
 
 For latency estimates on a modelled V100-class GPU, see
 :mod:`repro.kernels` (per-method cost models) and
@@ -140,7 +146,7 @@ def spgemm(
     a: "SparseMatrix | np.ndarray",
     b: "SparseMatrix | np.ndarray",
     config: WarpTileConfig | None = None,
-    backend: str = "vectorized",
+    backend: str = "auto",
 ) -> SpGemmResult:
     """Dual-side sparse matrix multiplication ``a @ b``.
 
@@ -153,8 +159,10 @@ def spgemm(
             :class:`SparseMatrix`.
         b: right operand (K x N); encode with ``order="row"``.
         config: warp-tile geometry; defaults to the paper's 32x32x16.
-        backend: ``"vectorized"`` (default) for the NumPy engine,
-            ``"reference"`` for the original Python tile loop.
+        backend: ``"auto"`` (default) picks the blocked engine for
+            large shapes and the vectorized engine otherwise;
+            ``"blocked"`` / ``"vectorized"`` / ``"reference"`` select
+            one path explicitly.
     """
     dense_a = _as_dense(a, "a")
     dense_b = _as_dense(b, "b")
@@ -170,7 +178,7 @@ def spgemm_batched(
     a_batch,
     b_batch=None,
     config: WarpTileConfig | None = None,
-    backend: str = "vectorized",
+    backend: str = "auto",
 ) -> list[SpGemmResult]:
     """Run a whole batch of dual-side sparse GEMMs in one call.
 
@@ -229,7 +237,7 @@ def spconv(
     stride: int = 1,
     padding: int = 0,
     config: WarpTileConfig | None = None,
-    backend: str = "vectorized",
+    backend: str = "auto",
 ) -> SpConvResult:
     """Dual-side sparse convolution (sparse im2col + outer-product SpGEMM).
 
@@ -240,7 +248,8 @@ def spconv(
         padding: symmetric zero padding.
         config: warp-tile geometry forwarded to the SpGEMM stage.
         backend: execution backend of the whole pipeline (im2col *and*
-            SpGEMM) — ``"vectorized"`` (default) or ``"reference"``.
+            SpGEMM) — ``"auto"`` (default), ``"blocked"``,
+            ``"vectorized"`` or ``"reference"``.
     """
     result = sparse_conv2d(
         feature_map,

@@ -64,17 +64,27 @@ def condense(vector: np.ndarray) -> CondensedVector:
     return CondensedVector(length=vector.size, bitmap=bitmap, values=vector[bitmap])
 
 
-def condense_from_bitmap(bitmap: np.ndarray, values: np.ndarray) -> CondensedVector:
+def condense_from_bitmap(
+    bitmap: np.ndarray, values: np.ndarray, trusted: bool = False
+) -> CondensedVector:
     """Build a condensed vector from an explicit bitmap + value pair.
 
     Used when the operand already arrives in bitmap encoding (e.g. a
     column slice of a :class:`repro.formats.bitmap.BitmapMatrix`).
+
+    Args:
+        bitmap: 1-D boolean mask of the non-zero positions.
+        values: the condensed non-zero values.
+        trusted: skip the O(length) set-bit popcount that cross-checks
+            ``bitmap`` against ``values``.  Internal fast path for the
+            engines, whose slices come straight out of a validated
+            encoding; the public (default) path keeps validating.
     """
     bitmap = np.asarray(bitmap, dtype=bool)
     values = np.asarray(values)
     if bitmap.ndim != 1:
         raise ShapeError("bitmap must be 1-D")
-    if int(bitmap.sum()) != values.size:
+    if not trusted and int(bitmap.sum()) != values.size:
         raise ShapeError(
             f"bitmap has {int(bitmap.sum())} set bits but {values.size} values given"
         )

@@ -10,6 +10,11 @@ bit-identical to the reference loop), while the full
 from the same per-segment non-zero reductions that power
 :func:`~repro.core.spgemm_device.count_device_instructions`.
 
+For Figure 21/22-sized shapes the K-panel blocked engine
+(:mod:`repro.core.engine_blocked`) replaces the per-step rank-1 loop
+with one BLAS matmul per K-panel; it reuses this module's
+closed-form statistics unchanged.
+
 The engine is cross-checked against the reference loop (kept behind
 ``backend="reference"``) in ``tests/core/test_engine.py``: numeric output
 and every statistics field — instruction counts, merge traffic, tile
@@ -87,6 +92,19 @@ def _two_level_footprint_bytes(
     element_bits = int(areas[occupied].sum())
     warp_bits = int(tile_nnz.size)
     return nnz * element_bytes + (warp_bits + element_bits + 7) // 8
+
+
+def operand_k_activity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Boolean mask of reduction steps that contribute any product.
+
+    Step ``k`` is active when column ``k`` of A and row ``k`` of B both
+    hold at least one non-zero — the per-k occupancy the warp-bitmap
+    counts expose.  Shared by the per-step vectorized engine and the
+    K-panel blocked engine (:mod:`repro.core.engine_blocked`).
+    """
+    a_col_nnz = np.count_nonzero(a, axis=0)
+    b_row_nnz = np.count_nonzero(b, axis=1)
+    return (a_col_nnz > 0) & (b_row_nnz > 0)
 
 
 def vectorized_numeric_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -1,0 +1,140 @@
+"""K-panel blocked functional SpGEMM engine — the large-shape fast path.
+
+The vectorized engine (:mod:`repro.core.engine`) replays the condensed
+outer-product semantics literally: one Python-level rank-1 update per
+non-empty reduction step.  That is bit-identical to the reference loop
+but still O(K) interpreter iterations, which caps Figure 21/22-sized
+numeric SpGEMMs (a 2048^3 product spends seconds in the per-k loop).
+
+This module applies the panel blocking the paper's thread-block tiling
+(Figures 8-9) already describes.  The reduction dimension is partitioned
+into K-panels of ``panel_tiles`` warp k-tiles (``WarpTileConfig.tk``
+steps each).  For every panel:
+
+1. the *surviving* reduction steps are selected — a step survives when
+   its A column and its B row both hold at least one non-zero, the same
+   per-k occupancy the warp-bitmap counts expose; a panel whose
+   column/row nnz is all-zero is skipped without touching the operands,
+2. the surviving columns of A and rows of B are gathered into dense
+   panel operands (a contiguous slice when the whole panel survives), and
+3. one BLAS-backed :func:`np.matmul` accumulates the panel's
+   contribution, panels visited in ascending-k order.
+
+Statistics are *not* re-derived: :func:`blocked_device_spgemm` calls the
+same :func:`repro.core.engine.vectorized_device_stats` closed form the
+vectorized engine uses, so every :class:`DeviceStats` / ``WarpStats``
+field stays bit-identical to the reference backend by construction.
+
+Accumulation-order guarantees
+-----------------------------
+
+Panels accumulate in ascending-k order, but *within* a panel the
+multiply-add order is whatever the BLAS kernel picks.  Consequently:
+
+* on integer-valued data (all products and partial sums exactly
+  representable in float64) the output is exactly equal to the reference
+  loop — addition of exactly-representable values is associative,
+* on general float data the result may differ from the reference loop in
+  the last bits; both are correct float64 evaluations of the same sum
+  and agree to well within 2 float32 ulps (asserted by the Hypothesis
+  parity suite in ``tests/core/test_engine_blocked.py``),
+* non-finite operands (inf/NaN) always fall back to the per-step
+  condensed path, because a dense panel product would form ``0 * inf =
+  NaN`` partials the condensed hardware never evaluates.  The fallback
+  is bit-identical to the reference loop, so non-finite parity stays
+  exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spgemm_warp import WarpTileConfig
+from repro.errors import ShapeError
+from repro.utils.validation import check_2d
+
+#: Warp k-tiles folded into one matmul panel.  With the paper's
+#: ``tk = 16`` this makes 256-step panels: wide enough that BLAS
+#: dominates the gather cost, narrow enough that all-empty panels are
+#: still skipped on highly sparse operands.
+DEFAULT_PANEL_TILES = 16
+
+
+def blocked_numeric_product(
+    a: np.ndarray,
+    b: np.ndarray,
+    config: WarpTileConfig | None = None,
+    panel_tiles: int = DEFAULT_PANEL_TILES,
+) -> np.ndarray:
+    """``a @ b`` in float64 via K-panel blocked dense accumulation.
+
+    See the module docstring for the panel-gather algorithm and the
+    accumulation-order guarantees.  Non-finite operands delegate to
+    :func:`repro.core.engine.vectorized_numeric_product`, which never
+    forms products with a zero operand.
+    """
+    from repro.core.engine import operand_k_activity, vectorized_numeric_product
+
+    config = config or WarpTileConfig()
+    if panel_tiles < 1:
+        raise ShapeError(f"panel_tiles must be >= 1, got {panel_tiles}")
+    m_dim, k_dim = a.shape
+    n_dim = b.shape[1]
+    a64 = a.astype(np.float64, copy=False)
+    b64 = b.astype(np.float64, copy=False)
+    output = np.zeros((m_dim, n_dim), dtype=np.float64)
+    alive = operand_k_activity(a64, b64)
+    if not alive.any():
+        return output
+    if not (bool(np.isfinite(a64).all()) and bool(np.isfinite(b64).all())):
+        # A dense panel matmul would evaluate 0 * inf = NaN partials the
+        # condensed reference never forms; the per-step path is exact.
+        return vectorized_numeric_product(a, b)
+
+    panel = config.tk * panel_tiles
+    scratch = np.empty((m_dim, n_dim), dtype=np.float64)
+    for k0 in range(0, k_dim, panel):
+        k1 = min(k0 + panel, k_dim)
+        survivors = np.flatnonzero(alive[k0:k1])
+        if survivors.size == 0:
+            # All-empty panel: the warp-bitmap already proves every step
+            # in it is skippable, so the operands are never gathered.
+            continue
+        if survivors.size == k1 - k0:
+            a_panel = a64[:, k0:k1]
+            b_panel = b64[k0:k1, :]
+        else:
+            survivors += k0
+            a_panel = a64[:, survivors]
+            b_panel = b64[survivors, :]
+        np.matmul(a_panel, b_panel, out=scratch)
+        output += scratch
+    return output
+
+
+def blocked_device_spgemm(
+    a: np.ndarray,
+    b: np.ndarray,
+    config: WarpTileConfig | None = None,
+    element_bytes: int = 2,
+    panel_tiles: int = DEFAULT_PANEL_TILES,
+) -> "DeviceSpGemmResult":
+    """K-panel blocked functional device-level SpGEMM.
+
+    Drop-in replacement for the vectorized engine on large shapes: the
+    numeric product comes from :func:`blocked_numeric_product`, every
+    statistics field from the shared closed-form
+    :func:`repro.core.engine.vectorized_device_stats` — bit-identical to
+    both existing backends.
+    """
+    from repro.core.engine import vectorized_device_stats
+    from repro.core.spgemm_device import DeviceSpGemmResult
+
+    config = config or WarpTileConfig()
+    a = check_2d(a, "a")
+    b = check_2d(b, "b")
+    if a.shape[1] != b.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
+    stats = vectorized_device_stats(a, b, config, element_bytes=element_bytes)
+    output = blocked_numeric_product(a, b, config=config, panel_tiles=panel_tiles)
+    return DeviceSpGemmResult(output=output, stats=stats)

@@ -146,7 +146,7 @@ def bitmap_im2col(
     feature_map = pad_feature_map(feature_map, padding)
     padded_width = feature_map.shape[2]
 
-    if backend == "vectorized":
+    if backend != "reference":
         lowered, value_reads = bitmap_lowering(
             feature_map, kernel, stride, out_h, out_w
         )

@@ -97,7 +97,7 @@ def csr_im2col(
         raise ShapeError(f"feature_map must be (C, H, W), got {feature_map.shape}")
     channels, height, width = feature_map.shape
     out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
-    if backend == "vectorized":
+    if backend != "reference":
         stats = count_csr_im2col_ops(feature_map != 0, kernel, stride, padding)
         padded = pad_feature_map(feature_map, padding)
         lowered = lower_windows(padded, kernel, stride, out_h, out_w)

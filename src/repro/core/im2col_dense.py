@@ -99,7 +99,7 @@ def dense_im2col(
     channels, height, width = feature_map.shape
     out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
     feature_map = pad_feature_map(feature_map, padding)
-    if backend == "vectorized":
+    if backend != "reference":
         lowered = lower_windows(feature_map, kernel, stride, out_h, out_w)
     else:
         lowered = np.zeros(

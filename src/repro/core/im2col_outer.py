@@ -129,7 +129,7 @@ def outer_friendly_im2col(
     channels, height, width = feature_map.shape
     out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
     feature_map = pad_feature_map(feature_map, padding)
-    if backend == "vectorized":
+    if backend != "reference":
         lowered = lower_windows(feature_map, kernel, stride, out_h, out_w)
         schedule, row_loads = _column_schedule(channels, kernel, stride, out_h)
     else:

@@ -22,9 +22,9 @@ import numpy as np
 from repro.core.im2col_bitmap import BitmapIm2colStats, bitmap_im2col
 from repro.core.im2col_dense import flatten_weights
 from repro.core.reference import conv_output_shape
-from repro.core.spgemm_device import DeviceStats, device_spgemm
+from repro.core.spgemm_device import BACKENDS, DeviceStats, device_spgemm
 from repro.core.spgemm_warp import WarpTileConfig
-from repro.errors import ShapeError
+from repro.errors import ConfigError, ShapeError
 from repro.sparsity.statistics import sparsity as sparsity_of
 
 
@@ -61,7 +61,7 @@ def sparse_conv2d(
     stride: int = 1,
     padding: int = 0,
     config: WarpTileConfig | None = None,
-    backend: str = "vectorized",
+    backend: str = "auto",
 ) -> SparseConvResult:
     """Dual-side sparse convolution via bitmap im2col + outer-product SpGEMM.
 
@@ -71,16 +71,23 @@ def sparse_conv2d(
         stride: spatial stride.
         padding: symmetric zero padding.
         config: warp tile geometry forwarded to the SpGEMM.
-        backend: execution backend of the *whole* pipeline —
-            ``"vectorized"`` (default) chains the word-level im2col
-            engine into the vectorized SpGEMM engine, ``"reference"``
-            runs the original Python loops end to end.  Both produce
-            bit-identical output and statistics.
+        backend: execution backend of the *whole* pipeline.  Any
+            non-``"reference"`` value chains the word-level im2col
+            engine into the selected SpGEMM engine — ``"auto"`` (the
+            default) lets the SpGEMM stage pick the K-panel blocked
+            engine for large lowered shapes; ``"reference"`` runs the
+            original Python loops end to end.  All backends produce
+            identical statistics (bit-identical output for
+            ``"vectorized"`` vs ``"reference"``).
 
     Returns:
         The (N, OH, OW) output feature map plus pipeline statistics.  The
         output is numerically equal to the dense reference convolution.
     """
+    if backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown backend {backend!r}; available: {list(BACKENDS)}"
+        )
     feature_map = np.asarray(feature_map)
     weights = np.asarray(weights)
     if weights.ndim != 4:
@@ -96,8 +103,12 @@ def sparse_conv2d(
     channels, height, width = feature_map.shape
     out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
 
+    # The im2col engines only know "vectorized" vs "reference"; every
+    # SpGEMM backend other than the reference loop uses the word-level
+    # im2col engine (their outputs are bit-identical either way).
+    im2col_backend = "reference" if backend == "reference" else "vectorized"
     im2col_result = bitmap_im2col(
-        feature_map, kernel, stride, padding, backend=backend
+        feature_map, kernel, stride, padding, backend=im2col_backend
     )
     flat_weights = flatten_weights(weights)
     gemm_result = device_spgemm(

@@ -7,16 +7,20 @@ warp-level SpGEMM of :mod:`repro.core.spgemm_warp`.  The two-level bitmap
 adds a warp-bit per input tile so a pair in which either tile is entirely
 empty is skipped without issuing a single instruction.
 
-Three execution paths are provided:
+Four execution paths are provided:
 
-* :func:`device_spgemm` with ``backend="vectorized"`` (the default) — the
-  functional path.  It produces the numeric result and exact statistics
-  via the NumPy-vectorized engine of :mod:`repro.core.engine`, and scales
-  to large (Figure 21/22-sized) workloads.
+* :func:`device_spgemm` with ``backend="auto"`` (the default) — picks
+  the best functional engine for the shape: the K-panel blocked engine
+  (:mod:`repro.core.engine_blocked`, one BLAS matmul per K-panel) for
+  large workloads, the per-step vectorized engine otherwise.
+* :func:`device_spgemm` with ``backend="vectorized"`` — the NumPy
+  per-step engine of :mod:`repro.core.engine`: numeric output and
+  statistics bit-identical to the reference loop.
 * :func:`device_spgemm` with ``backend="reference"`` — the original
-  per-warp-tile Python loop, kept as the oracle the engine is
-  cross-checked against (``tests/core/test_engine.py``) and as the only
-  path able to replay accumulation-buffer access positions.
+  per-warp-tile Python loop, kept as the oracle the engines are
+  cross-checked against (``tests/core/test_engine.py``,
+  ``tests/core/test_engine_blocked.py``) and as the only path able to
+  replay accumulation-buffer access positions.
 * :func:`count_device_instructions` — the exact *counting* path.  It
   computes instruction counts with vectorised NumPy reductions without
   materialising the product at all, so it stays the cheapest option when
@@ -84,7 +88,45 @@ class DeviceSpGemmResult:
 
 
 #: Valid ``backend=`` values of :func:`device_spgemm`.
-BACKENDS = ("vectorized", "reference")
+BACKENDS = ("auto", "blocked", "vectorized", "reference")
+
+#: Work size (M * K * N) at and above which ``backend="auto"`` routes to
+#: the K-panel blocked engine instead of the per-step vectorized engine.
+#: Below the threshold the vectorized engine is kept for its bit-exact
+#: reference parity; above it the blocked engine's BLAS panels win by a
+#: wide margin and stay exact on integer-valued data (within 2 float32
+#: ulps otherwise — see :mod:`repro.core.engine_blocked`).
+AUTO_BLOCKED_MIN_WORK = 1 << 26
+
+
+def resolve_backend(
+    backend: str,
+    m_dim: int,
+    k_dim: int,
+    n_dim: int,
+    collect_positions: bool = False,
+) -> str:
+    """Map a ``backend=`` argument to the concrete engine to run.
+
+    ``"auto"`` picks the blocked engine for large shapes (work size at
+    least :data:`AUTO_BLOCKED_MIN_WORK`) and the vectorized engine
+    otherwise.  ``collect_positions`` always forces the reference loop —
+    the per-step accumulation-buffer replay is inherently sequential.
+
+    Raises:
+        ConfigError: the name is not in :data:`BACKENDS`.
+    """
+    if backend not in BACKENDS:
+        raise ConfigError(
+            f"unknown backend {backend!r}; available: {list(BACKENDS)}"
+        )
+    if collect_positions:
+        return "reference"
+    if backend == "auto":
+        if m_dim * k_dim * n_dim >= AUTO_BLOCKED_MIN_WORK:
+            return "blocked"
+        return "vectorized"
+    return backend
 
 
 def device_spgemm(
@@ -93,7 +135,7 @@ def device_spgemm(
     config: WarpTileConfig | None = None,
     element_bytes: int = 2,
     collect_positions: bool = False,
-    backend: str = "vectorized",
+    backend: str = "auto",
 ) -> DeviceSpGemmResult:
     """Functional device-level SpGEMM.
 
@@ -105,25 +147,20 @@ def device_spgemm(
         collect_positions: record accumulation-buffer access positions
             (slow; only for small, hardware-replayed cases — forces the
             ``"reference"`` backend).
-        backend: ``"vectorized"`` (default) runs the NumPy engine of
-            :mod:`repro.core.engine`; ``"reference"`` runs the original
-            per-warp-tile Python loop.  Both return identical numeric
-            output and identical statistics.
+        backend: ``"auto"`` (default) picks the K-panel blocked engine
+            (:mod:`repro.core.engine_blocked`) for large shapes and the
+            per-step vectorized engine (:mod:`repro.core.engine`)
+            otherwise; the names ``"blocked"`` / ``"vectorized"`` /
+            ``"reference"`` select one path explicitly.  All backends
+            return identical statistics; numerics are bit-identical
+            between ``"vectorized"`` and ``"reference"``, and exact on
+            integer-valued data (within 2 float32 ulps otherwise) for
+            ``"blocked"``.
 
     Returns:
         The product ``a @ b`` plus the statistics needed by the cost
         models.
     """
-    if backend not in BACKENDS:
-        raise ConfigError(
-            f"unknown backend {backend!r}; available: {list(BACKENDS)}"
-        )
-    if backend == "vectorized" and not collect_positions:
-        from repro.core.engine import vectorized_device_spgemm
-
-        return vectorized_device_spgemm(
-            a, b, config=config, element_bytes=element_bytes
-        )
     config = config or WarpTileConfig()
     a = check_2d(a, "a")
     b = check_2d(b, "b")
@@ -131,6 +168,19 @@ def device_spgemm(
         raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
     m_dim, k_dim = a.shape
     n_dim = b.shape[1]
+    resolved = resolve_backend(backend, m_dim, k_dim, n_dim, collect_positions)
+    if resolved == "blocked":
+        from repro.core.engine_blocked import blocked_device_spgemm
+
+        return blocked_device_spgemm(
+            a, b, config=config, element_bytes=element_bytes
+        )
+    if resolved == "vectorized":
+        from repro.core.engine import vectorized_device_spgemm
+
+        return vectorized_device_spgemm(
+            a, b, config=config, element_bytes=element_bytes
+        )
 
     a_encoded = TwoLevelBitmapMatrix.from_dense(
         a, tile_shape=(config.tm, config.tk), order="col", element_bytes=element_bytes

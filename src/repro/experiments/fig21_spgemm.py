@@ -5,11 +5,18 @@ matrix B's sparsity takes one of several fixed values.  Compared methods:
 CUTLASS (dense), cuSparse (B fixed at 99%, A >= 90% only, as in the
 paper), the vector-wise Sparse Tensor Core [72] and our dual-side sparse
 Tensor Core.
+
+On top of the modelled sweep, one Figure 21-sized point is *executed*
+numerically: a ``numeric_size^3`` (2048^3 by default) SpGEMM runs
+through the K-panel blocked engine (:mod:`repro.core.engine_blocked`)
+and contributes a row with its exact measured instruction counts.
 """
 
 from __future__ import annotations
 
-from repro.hw.config import GpuConfig
+import numpy as np
+
+from repro.hw.config import GpuConfig, V100_CONFIG
 from repro.kernels.gemm_cusparse import CusparseGemm
 from repro.kernels.gemm_dense import CutlassGemm
 from repro.kernels.gemm_dual_sparse import DualSparseGemm
@@ -17,6 +24,8 @@ from repro.kernels.gemm_sparse_tc import SparseTensorCoreGemm
 
 #: Matrix A sparsity sweep (fraction of zeros).
 A_SPARSITY_POINTS = (0.0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.99, 0.999)
+#: (A, B) sparsity of the numerically *executed* SpGEMM point.
+NUMERIC_SPARSITY = (0.7, 0.7)
 #: Matrix B sparsity curves of the figure.
 B_SPARSITY_POINTS = (0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.99, 0.999)
 #: cuSparse is only reported for A sparsity >= 90% with B at 99%.
@@ -33,7 +42,10 @@ PAPER_ANCHORS = {
 
 
 def run_fig21(
-    size: int = 4096, config: GpuConfig | None = None
+    size: int = 4096,
+    config: GpuConfig | None = None,
+    numeric_size: int = 2048,
+    seed: int = 2021,
 ) -> list[dict]:
     """Reproduce the Figure 21 sweep.
 
@@ -41,10 +53,17 @@ def run_fig21(
         size: GEMM dimension (M = N = K); 4096 matches the paper, smaller
             values give quicker runs with the same qualitative shape.
         config: optional GPU configuration override.
+        numeric_size: dimension of the additional *executed* SpGEMM
+            point: a ``numeric_size^3`` product at
+            :data:`NUMERIC_SPARSITY` is actually run through the K-panel
+            blocked engine and reported with its exact (not modelled)
+            instruction counts.  ``0`` disables the point.
+        seed: RNG seed for the executed point's random operands.
 
     Returns:
         One row per (method, A sparsity, B sparsity) with the modelled
-        execution time and the speedup over the dense CUTLASS baseline.
+        execution time and the speedup over the dense CUTLASS baseline,
+        plus the executed numeric point (``ours-functional``).
     """
     cutlass = CutlassGemm(config)
     cusparse = CusparseGemm(config)
@@ -102,4 +121,39 @@ def run_fig21(
                     "speedup_vs_cutlass": baseline.time_us / estimate.time_us,
                 }
             )
+
+    if numeric_size:
+        # The executed (not modelled) point: run a numeric_size^3 SpGEMM
+        # through the K-panel blocked engine and convert its *exact*
+        # issued-OHMMA count to an issue-limited time.  Feasible at
+        # Figure 21 sizes (>= 2048^3) only since the blocked engine.
+        from repro.core.spgemm_device import device_spgemm
+        from repro.sparsity.generators import random_sparse_matrix
+
+        gpu = config or V100_CONFIG
+        rng = np.random.default_rng(seed)
+        a_sparsity, b_sparsity = NUMERIC_SPARSITY
+        a = random_sparse_matrix(
+            (numeric_size, numeric_size), 1.0 - a_sparsity, rng
+        )
+        b = random_sparse_matrix(
+            (numeric_size, numeric_size), 1.0 - b_sparsity, rng
+        )
+        executed = device_spgemm(a, b, backend="blocked")
+        issue_cycles = (
+            executed.stats.warp.ohmma_issued / gpu.ohmma_slots_per_cycle
+        )
+        time_us = gpu.cycles_to_us(issue_cycles)
+        numeric_baseline = cutlass.estimate_from_shape(
+            numeric_size, numeric_size, numeric_size
+        )
+        rows.append(
+            {
+                "method": f"ours-functional ({numeric_size}^3 executed)",
+                "a_sparsity": a_sparsity,
+                "b_sparsity": b_sparsity,
+                "time_us": round(time_us, 4),
+                "speedup_vs_cutlass": numeric_baseline.time_us / time_us,
+            }
+        )
     return rows

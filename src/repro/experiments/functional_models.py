@@ -3,10 +3,13 @@
 Complements the analytic Figure 22 driver: instead of cost-model
 estimates, every representative layer of the selected models is actually
 *executed* by the functional dual-side pipeline (sparse im2col +
-outer-product SpGEMM), and the exact per-layer instruction statistics are
-reported.  Such runs were impractical with the seed's per-warp-tile
-Python loop; the vectorized engine (:mod:`repro.core.engine`) brings them
-into the seconds range.
+outer-product SpGEMM) at full resolution (``scale=1.0``), and the exact
+per-layer instruction statistics are reported.  Such runs were
+impractical with the seed's per-warp-tile Python loop; the vectorized
+engine (:mod:`repro.core.engine`) brought them into the seconds range
+at ``scale=0.125``, and the K-panel blocked engine
+(:mod:`repro.core.engine_blocked`) lifts the paper-sized layers into
+the same budget.
 """
 
 from __future__ import annotations
@@ -16,17 +19,18 @@ from repro.hw.config import GpuConfig, V100_CONFIG
 from repro.nn.functional import run_model_functional
 from repro.nn.models import MODEL_REGISTRY
 
-#: Models that are cheap enough for the default functional sweep.
-DEFAULT_MODELS = ("ResNet-18", "BERT-base Encoder")
+#: Models executed by the default functional sweep; all run at full
+#: resolution (``scale=1.0``) in seconds on the blocked engine.
+DEFAULT_MODELS = ("ResNet-18", "VGG-16", "BERT-base Encoder")
 
 
 def run_functional_models(
     models: tuple[str, ...] | None = None,
-    scale: float = 0.125,
+    scale: float = 1.0,
     seed: int = 2021,
     config: GpuConfig | None = None,
     tile_config: WarpTileConfig | None = None,
-    backend: str = "vectorized",
+    backend: str = "auto",
 ) -> list[dict]:
     """Execute whole models functionally and tabulate exact statistics.
 
@@ -39,7 +43,8 @@ def run_functional_models(
         config: GPU configuration used to convert the exact OHMMA counts
             to an issue-limited device time per model.
         tile_config: warp-tile geometry override.
-        backend: SpGEMM backend (``"vectorized"`` or ``"reference"``).
+        backend: SpGEMM backend (``"auto"``, ``"blocked"``,
+            ``"vectorized"`` or ``"reference"``).
 
     Returns:
         One row per (model, layer) plus a ``full-model`` row per model,

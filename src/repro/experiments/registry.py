@@ -144,10 +144,10 @@ _SPECS = (
         module="repro.experiments.fig21_spgemm",
         func="run_fig21",
         description="Figure 21 — SpGEMM time vs operand sparsity",
-        defaults={"size": 4096},
-        quick={"size": 1024},
-        accepts=frozenset({"config"}),
-        sweepable=frozenset({"size"}),
+        defaults={"size": 4096, "numeric_size": 2048},
+        quick={"size": 1024, "numeric_size": 256},
+        accepts=frozenset({"config", "seed"}),
+        sweepable=frozenset({"size", "numeric_size"}),
     ),
     ExperimentSpec(
         name="fig22",
@@ -161,8 +161,8 @@ _SPECS = (
         name="functional",
         module="repro.experiments.functional_models",
         func="run_functional_models",
-        description="Functional whole-model runs on the vectorized engine",
-        defaults={"scale": 0.125},
+        description="Full-scale functional whole-model runs (blocked engine)",
+        defaults={"scale": 1.0},
         quick={"scale": 0.0625},
         sweepable=frozenset({"models", "scale", "backend"}),
     ),

@@ -59,13 +59,43 @@ class BitmapMatrix:
             raise FormatError(f"order must be one of {_VALID_ORDERS}, got {self.order!r}")
         if values.ndim != 1:
             raise FormatError("values must be a 1-D condensed array")
-        if int(bitmap.sum()) != values.size:
+        # The O(rows * cols) popcount runs once per construction; the
+        # result is cached so nnz consumers never re-walk the bitmap.
+        bitmap_nnz = int(bitmap.sum())
+        if bitmap_nnz != values.size:
             raise FormatError(
-                f"bitmap has {int(bitmap.sum())} set bits but values holds "
+                f"bitmap has {bitmap_nnz} set bits but values holds "
                 f"{values.size} elements"
             )
         object.__setattr__(self, "bitmap", bitmap)
         object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_nnz", bitmap_nnz)
+
+    @classmethod
+    def _trusted(
+        cls,
+        shape: tuple[int, int],
+        bitmap: np.ndarray,
+        values: np.ndarray,
+        order: str,
+        element_bytes: int,
+    ) -> "BitmapMatrix":
+        """Internal constructor that skips the O(n) consistency popcount.
+
+        Callers (the engines and :meth:`from_dense`) guarantee that
+        ``bitmap`` is boolean, matches ``shape`` and has exactly
+        ``values.size`` set bits — properties that hold by construction
+        when both arrays are derived from the same dense block.  The
+        public constructor keeps validating.
+        """
+        self = object.__new__(cls)
+        object.__setattr__(self, "shape", shape)
+        object.__setattr__(self, "bitmap", bitmap)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "order", order)
+        object.__setattr__(self, "element_bytes", element_bytes)
+        object.__setattr__(self, "_nnz", int(values.size))
+        return self
 
     # ------------------------------------------------------------------ #
     # Construction / materialisation
@@ -90,13 +120,9 @@ class BitmapMatrix:
             values = dense[bitmap]
         else:
             raise FormatError(f"order must be one of {_VALID_ORDERS}, got {order!r}")
-        return cls(
-            shape=dense.shape,
-            bitmap=bitmap,
-            values=values,
-            order=order,
-            element_bytes=element_bytes,
-        )
+        # bitmap and values come from the same dense array, so the set-bit
+        # / value-count invariant holds by construction.
+        return cls._trusted(dense.shape, bitmap, values, order, element_bytes)
 
     def to_dense(self) -> np.ndarray:
         """Decode back to a dense array."""
@@ -161,8 +187,8 @@ class BitmapMatrix:
     # ------------------------------------------------------------------ #
     @property
     def nnz(self) -> int:
-        """Number of stored non-zero values."""
-        return int(self.values.size)
+        """Number of stored non-zero values (cached at construction)."""
+        return self._nnz
 
     @property
     def density(self) -> float:

@@ -97,45 +97,98 @@ class CsrMatrix:
         """Number of non-zeros in every row."""
         return np.diff(self.indptr)
 
+    def row_ids(self) -> np.ndarray:
+        """Row index of every stored element (the ``indptr``-diff expansion).
+
+        ``np.repeat`` over the per-row counts turns the compressed row
+        pointers into one explicit row-id per stored value — the gather
+        array every vectorised helper below indexes with instead of
+        iterating :meth:`row` in Python.
+        """
+        return np.repeat(
+            np.arange(self.shape[0], dtype=np.int64), self.row_nnz()
+        )
+
     def to_dense(self) -> np.ndarray:
-        """Materialise the matrix as a dense array."""
+        """Materialise the matrix as a dense array (one scatter, no loop)."""
         out = np.zeros(self.shape, dtype=self.values.dtype if self.nnz else np.float32)
-        for i in range(self.shape[0]):
-            cols, vals = self.row(i)
-            out[i, cols] = vals
+        out[self.row_ids(), self.indices] = self.values
         return out
 
     def transpose(self) -> "CsrMatrix":
-        """Return the transpose, still in CSR (i.e. CSC of the original)."""
-        return CsrMatrix.from_dense(self.to_dense().T, self.element_bytes)
+        """Return the transpose, still in CSR (i.e. CSC of the original).
+
+        Built directly from the index arrays: a stable sort by column
+        index yields the transposed (row, value) stream already in
+        row-major order — within one column the original rows ascend, so
+        the result is identical to re-encoding the dense transpose
+        (explicitly stored zeros, which ``from_dense`` never produces,
+        are preserved rather than dropped).
+        """
+        order = np.argsort(self.indices, kind="stable")
+        counts = np.bincount(self.indices, minlength=self.shape[1])
+        indptr = np.zeros(self.shape[1] + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CsrMatrix(
+            shape=(self.shape[1], self.shape[0]),
+            indptr=indptr,
+            indices=self.row_ids()[order],
+            values=self.values[order],
+            element_bytes=self.element_bytes,
+            index_bytes=self.index_bytes,
+        )
 
     def matmul_dense(self, dense_b: np.ndarray) -> np.ndarray:
-        """Multiply this CSR matrix by a dense matrix (reference SpMM)."""
+        """Multiply this CSR matrix by a dense matrix (reference SpMM).
+
+        One gather of the needed B rows and one segmented scatter-add
+        replace the per-row Python loop; the per-element contributions
+        are identical, only the accumulation order differs (exact on
+        integer-valued data, last-bit differences otherwise).
+        """
         dense_b = check_2d(dense_b, "dense_b")
         if dense_b.shape[0] != self.shape[1]:
             raise ShapeError(
                 f"inner dimensions do not match: {self.shape} @ {dense_b.shape}"
             )
         out = np.zeros((self.shape[0], dense_b.shape[1]), dtype=np.float64)
-        for i in range(self.shape[0]):
-            cols, vals = self.row(i)
-            if cols.size:
-                out[i] = vals @ dense_b[cols]
+        if self.nnz:
+            contributions = self.values[:, None] * dense_b[self.indices]
+            np.add.at(out, self.row_ids(), contributions)
         return out
 
     def matmul_csr(self, other: "CsrMatrix") -> "CsrMatrix":
-        """Multiply two CSR matrices (reference SpGEMM, row-wise product)."""
+        """Multiply two CSR matrices (reference SpGEMM, row-wise product).
+
+        The expanded-triple form of the row-wise product: every stored
+        ``a[i, k]`` is joined with all stored ``b[k, :]`` by gathering
+        B's row segments with ``indptr``-diff + ``np.repeat``, and the
+        resulting (i, j, value) triples are scatter-added in one pass.
+        """
         if other.shape[0] != self.shape[1]:
             raise ShapeError(
                 f"inner dimensions do not match: {self.shape} @ {other.shape}"
             )
         result = np.zeros((self.shape[0], other.shape[1]), dtype=np.float64)
-        for i in range(self.shape[0]):
-            cols, vals = self.row(i)
-            for k, a_val in zip(cols, vals):
-                b_cols, b_vals = other.row(int(k))
-                if b_cols.size:
-                    result[i, b_cols] += a_val * b_vals
+        if self.nnz and other.nnz:
+            b_counts = other.row_nnz()
+            # For stored element t of A (row i_t, column k_t), repeat its
+            # (row, value) once per stored element of B's row k_t ...
+            pair_counts = b_counts[self.indices]
+            out_rows = np.repeat(self.row_ids(), pair_counts)
+            a_vals = np.repeat(self.values, pair_counts)
+            # ... and enumerate those B elements: each join segment spans
+            # other.indptr[k_t] : other.indptr[k_t + 1].
+            starts = other.indptr[self.indices]
+            offsets = np.arange(int(pair_counts.sum()), dtype=np.int64)
+            segment_first = np.repeat(
+                np.cumsum(pair_counts) - pair_counts, pair_counts
+            )
+            b_slots = np.repeat(starts, pair_counts) + (offsets - segment_first)
+            out_cols = other.indices[b_slots]
+            np.add.at(
+                result, (out_rows, out_cols), a_vals * other.values[b_slots]
+            )
         return CsrMatrix.from_dense(result, self.element_bytes)
 
     def footprint_bytes(self) -> int:

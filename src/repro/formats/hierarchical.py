@@ -44,6 +44,28 @@ class BitmapTile:
         return self.encoding is None or self.encoding.nnz == 0
 
 
+def _blockwise_tile_nnz(
+    mask: np.ndarray, tile_rows: int, tile_cols: int
+) -> np.ndarray:
+    """Per-tile non-zero counts via one padded blockwise reshape.
+
+    The (rows, cols) boolean mask is zero-padded up to whole tiles and
+    reduced to the ``(grid_rows, grid_cols)`` int64 count grid in a
+    single NumPy reduction — no Python loop over tiles.
+    """
+    rows, cols = mask.shape
+    grid_rows = num_tiles(rows, tile_rows)
+    grid_cols = num_tiles(cols, tile_cols)
+    pad_rows = grid_rows * tile_rows - rows
+    pad_cols = grid_cols * tile_cols - cols
+    if pad_rows or pad_cols:
+        mask = np.pad(mask, ((0, pad_rows), (0, pad_cols)))
+    return (
+        mask.reshape(grid_rows, tile_rows, grid_cols, tile_cols)
+        .sum(axis=(1, 3), dtype=np.int64)
+    )
+
+
 @dataclass(frozen=True)
 class TwoLevelBitmapMatrix:
     """Hierarchical bitmap encoding tiled along both dimensions.
@@ -95,27 +117,43 @@ class TwoLevelBitmapMatrix:
         order: str = COLUMN_MAJOR,
         element_bytes: int = 2,
     ) -> "TwoLevelBitmapMatrix":
-        """Encode a dense matrix with the given warp-tile shape."""
+        """Encode a dense matrix with the given warp-tile shape.
+
+        Per-tile occupancy comes from one blockwise (pad + reshape)
+        reduction over the whole non-zero mask instead of a Python
+        double loop, so empty tiles cost nothing and the per-tile nnz
+        counts are computed once and cached for the ``nnz`` /
+        ``footprint_bytes`` statistics.
+        """
         dense = check_2d(dense, "dense")
         if order not in (COLUMN_MAJOR, ROW_MAJOR):
             raise FormatError(f"unknown order {order!r}")
         tile_rows, tile_cols = tile_shape
-        grid_rows = num_tiles(dense.shape[0], tile_rows)
-        grid_cols = num_tiles(dense.shape[1], tile_cols)
-        warp_bitmap = np.zeros((grid_rows, grid_cols), dtype=bool)
+        mask = dense != 0
+        tile_nnz = _blockwise_tile_nnz(mask, tile_rows, tile_cols)
+        warp_bitmap = tile_nnz > 0
         tiles: list[BitmapTile] = []
-        for ti, (r0, r1) in enumerate(tile_ranges(dense.shape[0], tile_rows)):
-            for tj, (c0, c1) in enumerate(tile_ranges(dense.shape[1], tile_cols)):
-                block = dense[r0:r1, c0:c1]
-                if np.count_nonzero(block):
-                    warp_bitmap[ti, tj] = True
-                    encoding = BitmapMatrix.from_dense(
-                        block, order=order, element_bytes=element_bytes
+        row_spans = list(tile_ranges(dense.shape[0], tile_rows))
+        col_spans = list(tile_ranges(dense.shape[1], tile_cols))
+        for ti, (r0, r1) in enumerate(row_spans):
+            for tj, (c0, c1) in enumerate(col_spans):
+                if warp_bitmap[ti, tj]:
+                    block = dense[r0:r1, c0:c1]
+                    block_mask = mask[r0:r1, c0:c1]
+                    values = (
+                        block.T[block_mask.T]
+                        if order == COLUMN_MAJOR
+                        else block[block_mask]
+                    )
+                    # mask/values come from the same dense block, so the
+                    # trusted constructor may skip the popcount check.
+                    encoding = BitmapMatrix._trusted(
+                        block.shape, block_mask, values, order, element_bytes
                     )
                 else:
                     encoding = None
                 tiles.append(BitmapTile(row_start=r0, col_start=c0, encoding=encoding))
-        return cls(
+        self = cls(
             shape=dense.shape,
             tile_shape=tile_shape,
             warp_bitmap=warp_bitmap,
@@ -123,6 +161,8 @@ class TwoLevelBitmapMatrix:
             order=order,
             element_bytes=element_bytes,
         )
+        object.__setattr__(self, "_tile_nnz", tile_nnz)
+        return self
 
     def to_dense(self) -> np.ndarray:
         """Decode back to a dense array."""
@@ -159,10 +199,28 @@ class TwoLevelBitmapMatrix:
     # ------------------------------------------------------------------ #
     # Statistics
     # ------------------------------------------------------------------ #
+    def _tile_nnz_grid(self) -> np.ndarray:
+        """Per-tile nnz counts, computed once and cached.
+
+        Instances built by :meth:`from_dense` carry the counts from the
+        blockwise encoder reduction; manually-assembled instances
+        compute them from the tile encodings on first use.
+        """
+        cached = getattr(self, "_tile_nnz", None)
+        if cached is None:
+            grid_rows, grid_cols = self.grid_shape
+            cached = np.fromiter(
+                (0 if tile.is_empty else tile.encoding.nnz for tile in self.tiles),
+                dtype=np.int64,
+                count=len(self.tiles),
+            ).reshape(grid_rows, grid_cols)
+            object.__setattr__(self, "_tile_nnz", cached)
+        return cached
+
     @property
     def nnz(self) -> int:
-        """Total number of stored non-zero values."""
-        return sum(tile.encoding.nnz for tile in self.tiles if not tile.is_empty)
+        """Total number of stored non-zero values (cached per tile)."""
+        return int(self._tile_nnz_grid().sum())
 
     @property
     def density(self) -> float:
@@ -176,12 +234,23 @@ class TwoLevelBitmapMatrix:
         return float(self.warp_bitmap.mean()) if self.warp_bitmap.size else 0.0
 
     def footprint_bytes(self) -> int:
-        """Compressed size: warp-bitmap + per-tile element bitmaps + values."""
+        """Compressed size: warp-bitmap + per-tile element bitmaps + values.
+
+        Element-bitmap bits are only stored for occupied tiles, and edge
+        tiles store bitmaps of their clipped (not padded) extent — both
+        computed here from the grid geometry, no tile walk.
+        """
+        tile_nnz = self._tile_nnz_grid()
         warp_bits = self.warp_bitmap.size
-        element_bits = sum(
-            tile.encoding.shape[0] * tile.encoding.shape[1]
-            for tile in self.tiles
-            if not tile.is_empty
-        )
-        value_bytes = self.nnz * self.element_bytes
+        rows, cols = self.shape
+        tile_rows, tile_cols = self.tile_shape
+        row_extents = np.full(self.grid_shape[0], tile_rows, dtype=np.int64)
+        if row_extents.size and rows % tile_rows:
+            row_extents[-1] = rows % tile_rows
+        col_extents = np.full(self.grid_shape[1], tile_cols, dtype=np.int64)
+        if col_extents.size and cols % tile_cols:
+            col_extents[-1] = cols % tile_cols
+        areas = np.outer(row_extents, col_extents)
+        element_bits = int(areas[tile_nnz > 0].sum())
+        value_bytes = int(tile_nnz.sum()) * self.element_bytes
         return value_bytes + (warp_bits + element_bits + 7) // 8

@@ -9,11 +9,12 @@ for CNN layers, transposed-GEMM SpGEMM for the BERT / RNN layers —
 returning per-layer :class:`~repro.core.spgemm_device.DeviceStats`.
 
 With the reference Python loop such runs were restricted to toy sizes;
-the vectorized engine (:mod:`repro.core.engine`) makes Figure 22-scale
-functional sweeps practical.  The ``scale`` knob shrinks spatial
-(CNN) / batch-row (GEMM) dimensions for quick smoke runs; weight shapes
-and sparsity patterns are never scaled, so the instruction statistics
-remain representative of the pruned model.
+the K-panel blocked engine (:mod:`repro.core.engine_blocked`, selected
+by ``backend="auto"`` for large layers) makes full-resolution
+(``scale=1.0``) whole-model runs the default.  The ``scale`` knob
+shrinks spatial (CNN) / batch-row (GEMM) dimensions for quick smoke
+runs; weight shapes and sparsity patterns are never scaled, so the
+instruction statistics remain representative of the pruned model.
 """
 
 from __future__ import annotations
@@ -170,10 +171,10 @@ def _run_gemm_layer(
 
 def run_model_functional(
     model: "ModelDefinition | str",
-    scale: float = 0.25,
+    scale: float = 1.0,
     seed: int = 2021,
     config: WarpTileConfig | None = None,
-    backend: str = "vectorized",
+    backend: str = "auto",
 ) -> FunctionalModelRun:
     """Execute every representative layer of a model functionally.
 
@@ -184,7 +185,9 @@ def run_model_functional(
             extent, GEMM batch rows); ``1.0`` runs paper-sized layers.
         seed: RNG seed for the synthetic pruned operands.
         config: warp-tile geometry shared by all layers.
-        backend: SpGEMM backend — ``"vectorized"`` (default) or
+        backend: SpGEMM backend — ``"auto"`` (default: the K-panel
+            blocked engine for large layers, the vectorized engine
+            otherwise), ``"blocked"``, ``"vectorized"`` or
             ``"reference"``.
 
     Returns:
