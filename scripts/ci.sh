@@ -2,8 +2,11 @@
 # Smoke-test CI: the tier-1 test suite, a doctest pass over the README
 # quickstart snippets, the golden-snapshot regression suite (fails on
 # any paper-table drift), the im2col + blocked-engine parity suites,
-# the conv-pipeline and blocked-engine speedup benchmarks (keep the
-# speedup trajectory JSONs populated and gate the 2048^3 >= 5x blocked
+# the encoded-operand + session parity suites (pre-encoded operands and
+# batch-folded sessions must be bit-identical to the dense/per-image
+# paths), the conv-pipeline, blocked-engine and serving-throughput
+# benchmarks (keep the speedup trajectory JSONs populated and gate the
+# 2048^3 >= 5x blocked advantage plus the >= 3x batch-8 serving
 # advantage) and a parallel + cached runner smoke pass that must print
 # byte-identical tables on the cached re-run.
 # Run from anywhere; no arguments.
@@ -27,11 +30,17 @@ python -m pytest -q tests/core/test_im2col_engines.py tests/core/test_im2col.py
 echo "== blocked engine parity suite (blocked vs vectorized vs reference) =="
 python -m pytest -q tests/core/test_engine_blocked.py tests/formats/test_vectorized_formats.py
 
+echo "== encoded-operand + session parity suites (encoded vs dense, batch vs per-image) =="
+python -m pytest -q tests/core/test_encoded_operands.py tests/nn/test_session.py
+
 echo "== spconv speedup benchmark (quick: full-res Table III layer) =="
 python -m pytest -q benchmarks/test_spconv_speedup.py
 
 echo "== blocked engine speedup benchmark (1024^3/2048^3 + functional ResNet-18 scale=1.0) =="
 python -m pytest -q benchmarks/test_blocked_engine_speedup.py
+
+echo "== serving throughput benchmark (compiled batch-8 ResNet-18 session >= 3x per-image loop) =="
+python -m pytest -q benchmarks/test_serve_throughput.py
 
 echo "== runner smoke: --quick --jobs 2 --cache, cached re-run byte-identical =="
 smoke_dir="$(mktemp -d)"

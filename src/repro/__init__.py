@@ -47,6 +47,10 @@ _LAZY_EXPORTS = {
     "spgemm_batched": "repro.core.api",
     "spconv": "repro.core.api",
     "sparse_im2col": "repro.core.api",
+    "EncodedOperand": "repro.core.operands",
+    "CompiledModel": "repro.nn.session",
+    "SessionRun": "repro.nn.session",
+    "compile_model": "repro.nn.session",
 }
 
 
@@ -71,6 +75,10 @@ __all__ = [
     "spgemm_batched",
     "spconv",
     "sparse_im2col",
+    "EncodedOperand",
+    "CompiledModel",
+    "SessionRun",
+    "compile_model",
     "ReproError",
     "ShapeError",
     "FormatError",

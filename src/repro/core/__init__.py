@@ -13,6 +13,8 @@ Modules:
   two-level bitmap (Figures 8 and 9).
 * :mod:`repro.core.engine` — the NumPy-vectorized functional execution
   engine behind the default ``backend="vectorized"`` path.
+* :mod:`repro.core.operands` — pre-encoded GEMM operands (encode once,
+  multiply many times) shared by every functional engine.
 * :mod:`repro.core.im2col_dense` / ``im2col_outer`` / ``im2col_csr`` /
   ``im2col_bitmap`` — the four im2col variants compared in Table III and
   Figure 10/11.
@@ -20,6 +22,7 @@ Modules:
 * :mod:`repro.core.api` — user-facing entry points.
 """
 
+from repro.core.operands import EncodedOperand
 from repro.core.api import (
     SparseMatrix,
     SpGemmResult,
@@ -31,6 +34,7 @@ from repro.core.api import (
 )
 
 __all__ = [
+    "EncodedOperand",
     "SparseMatrix",
     "SpGemmResult",
     "SpConvResult",

@@ -135,13 +135,6 @@ class SpConvResult:
     stats: SpConvStats
 
 
-def _as_dense(matrix: "SparseMatrix | np.ndarray", name: str) -> np.ndarray:
-    """Accept either a SparseMatrix or a raw ndarray."""
-    if isinstance(matrix, SparseMatrix):
-        return matrix.dense
-    return check_2d(np.asarray(matrix), name)
-
-
 def spgemm(
     a: "SparseMatrix | np.ndarray",
     b: "SparseMatrix | np.ndarray",
@@ -155,22 +148,20 @@ def spgemm(
     instruction stream the dual-side sparse Tensor Core would execute.
 
     Args:
-        a: left operand (M x K); encode with ``order="col"`` if passing a
-            :class:`SparseMatrix`.
-        b: right operand (K x N); encode with ``order="row"``.
+        a: left operand (M x K) — a dense ndarray, a
+            :class:`SparseMatrix` (encode with ``order="col"``), a
+            :class:`~repro.formats.hierarchical.TwoLevelBitmapMatrix` or
+            an :class:`~repro.core.operands.EncodedOperand`.  Pre-encoded
+            operands skip the per-call encoding work with identical
+            results (encode once, multiply many times).
+        b: right operand (K x N), same accepted types (``order="row"``).
         config: warp-tile geometry; defaults to the paper's 32x32x16.
         backend: ``"auto"`` (default) picks the blocked engine for
             large shapes and the vectorized engine otherwise;
             ``"blocked"`` / ``"vectorized"`` / ``"reference"`` select
             one path explicitly.
     """
-    dense_a = _as_dense(a, "a")
-    dense_b = _as_dense(b, "b")
-    if dense_a.shape[1] != dense_b.shape[0]:
-        raise ShapeError(
-            f"inner dimensions differ: {dense_a.shape} @ {dense_b.shape}"
-        )
-    result = device_spgemm(dense_a, dense_b, config=config, backend=backend)
+    result = device_spgemm(a, b, config=config, backend=backend)
     return SpGemmResult(dense=result.output, stats=result.stats)
 
 
@@ -243,7 +234,9 @@ def spconv(
 
     Args:
         feature_map: (C, H, W) input feature map.
-        weights: (N, C, K, K) convolution weights.
+        weights: (N, C, K, K) convolution weights, or a
+            :class:`~repro.core.spconv.CompiledConvWeights` encoded once
+            for serving many images (bit-identical results).
         stride: spatial stride.
         padding: symmetric zero padding.
         config: warp-tile geometry forwarded to the SpGEMM stage.

@@ -10,6 +10,13 @@ bit-identical to the reference loop), while the full
 from the same per-segment non-zero reductions that power
 :func:`~repro.core.spgemm_device.count_device_instructions`.
 
+The closed-form reductions live in :mod:`repro.core.operands`: every
+cross-operand statistic factors into dot products of per-side per-``k``
+vectors, which an :class:`~repro.core.operands.EncodedOperand` caches
+for the lifetime of a serving session.  Operands may therefore arrive
+either dense or pre-encoded; the engine computes identical results
+(and statistics) in both cases.
+
 For Figure 21/22-sized shapes the K-panel blocked engine
 (:mod:`repro.core.engine_blocked`) replaces the per-step rank-1 loop
 with one BLAS matmul per K-panel; it reuses this module's
@@ -30,68 +37,21 @@ partial products ``a[i, k] * b[k, j]`` one ``k`` at a time in increasing
 steps in order).  The engine performs the same IEEE-754 double-precision
 multiply-then-add sequence as a vectorized rank-1 update per reduction
 step; adding the zero products the reference skips is exact (``x + 0.0
-== x`` for finite ``x``), so both paths round identically.
+== x`` for finite ``x``), so both paths round identically.  Because
+every output element receives its products independently of all other
+rows and columns, the same argument makes the engine *fold-safe*: rows
+(or columns) of a batch-stacked operand produce bit-identical results
+to separate per-slice runs (the inference sessions of
+:mod:`repro.nn.session` rely on this).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.spgemm_warp import WarpStats, WarpTileConfig
-from repro.core.merge import MergeStats
+from repro.core.operands import as_gemm_operand, device_stats_from_operands
+from repro.core.spgemm_warp import WarpTileConfig
 from repro.errors import ShapeError
-from repro.utils.tiling import num_tiles
-from repro.utils.validation import check_2d
-
-
-def _segment_nnz(mask: np.ndarray, tile: int, axis: int) -> np.ndarray:
-    """Per-segment non-zero counts along ``axis`` in blocks of ``tile``.
-
-    For ``axis=0`` the (rows, cols) mask is zero-padded to a row-count
-    multiple of ``tile`` and reduced to shape ``(rows/tile, cols)``; for
-    ``axis=1`` the reduction runs over column blocks instead.
-    """
-    rows, cols = mask.shape
-    if axis == 0:
-        n_seg = num_tiles(rows, tile)
-        pad = n_seg * tile - rows
-        if pad:
-            mask = np.pad(mask, ((0, pad), (0, 0)))
-        return mask.reshape(n_seg, tile, cols).sum(axis=1, dtype=np.int64)
-    n_seg = num_tiles(cols, tile)
-    pad = n_seg * tile - cols
-    if pad:
-        mask = np.pad(mask, ((0, 0), (0, pad)))
-    return mask.reshape(rows, n_seg, tile).sum(axis=2, dtype=np.int64)
-
-
-def _tile_extents(dim: int, tile: int) -> np.ndarray:
-    """Actual (edge-clipped) extent of each tile covering ``[0, dim)``."""
-    n = num_tiles(dim, tile)
-    extents = np.full(n, tile, dtype=np.int64)
-    if n and dim % tile:
-        extents[-1] = dim % tile
-    return extents
-
-
-def _two_level_footprint_bytes(
-    tile_nnz: np.ndarray,
-    row_extents: np.ndarray,
-    col_extents: np.ndarray,
-    nnz: int,
-    element_bytes: int,
-) -> int:
-    """Compressed size matching ``TwoLevelBitmapMatrix.footprint_bytes``.
-
-    The element-bitmap bits are only stored for occupied tiles, and edge
-    tiles store bitmaps of their clipped (not padded) shape — both
-    properties of the encoder the reference path instantiates.
-    """
-    occupied = tile_nnz > 0
-    areas = np.outer(row_extents, col_extents)
-    element_bits = int(areas[occupied].sum())
-    warp_bits = int(tile_nnz.size)
-    return nnz * element_bytes + (warp_bits + element_bits + 7) // 8
 
 
 def operand_k_activity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -107,25 +67,42 @@ def operand_k_activity(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     return (a_col_nnz > 0) & (b_row_nnz > 0)
 
 
-def vectorized_numeric_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def vectorized_numeric_product(
+    a: np.ndarray,
+    b: np.ndarray,
+    a_col_nnz: "np.ndarray | None" = None,
+    b_row_nnz: "np.ndarray | None" = None,
+    a_finite: "bool | None" = None,
+    b_finite: "bool | None" = None,
+) -> np.ndarray:
     """``a @ b`` in float64 with reference-identical rounding.
 
     One vectorized rank-1 update per reduction step, in increasing-``k``
     order, reproduces the exact multiply/add sequence of the per-tile
     merge loop (see the module docstring).  Steps whose A column or B row
     is entirely zero contribute nothing and are skipped outright.
+
+    The optional ``*_nnz`` / ``*_finite`` arguments let a caller holding
+    pre-encoded operands (:class:`~repro.core.operands.EncodedOperand`)
+    skip the per-call reductions; passing them never changes the result.
     """
     m_dim, k_dim = a.shape
     n_dim = b.shape[1]
     a64 = a.astype(np.float64, copy=False)
     b64 = b.astype(np.float64, copy=False)
     output = np.zeros((m_dim, n_dim), dtype=np.float64)
-    a_col_nnz = np.count_nonzero(a64, axis=0)
-    b_row_nnz = np.count_nonzero(b64, axis=1)
+    if a_col_nnz is None:
+        a_col_nnz = np.count_nonzero(a64, axis=0)
+    if b_row_nnz is None:
+        b_row_nnz = np.count_nonzero(b64, axis=1)
     # The dense fast path multiplies zero positions too; 0.0 * inf = NaN
     # would diverge from the reference (which never forms products with
     # a zero operand), so non-finite inputs always take the condensed path.
-    all_finite = bool(np.isfinite(a64).all()) and bool(np.isfinite(b64).all())
+    if a_finite is None:
+        a_finite = bool(np.isfinite(a64).all())
+    if b_finite is None:
+        b_finite = bool(np.isfinite(b64).all())
+    all_finite = a_finite and b_finite
     dense_cutoff = 0.25 * m_dim * n_dim
     for k in np.flatnonzero((a_col_nnz > 0) & (b_row_nnz > 0)):
         if all_finite and a_col_nnz[k] * b_row_nnz[k] > dense_cutoff:
@@ -154,94 +131,20 @@ def vectorized_device_stats(
     visiting each (warp-tile pair, set) — including the actual (clipped)
     reduction extents of edge tiles, which the padded formulas of
     :func:`~repro.core.spgemm_device.count_device_instructions`
-    approximate with full tiles.
+    approximate with full tiles.  Thin wrapper over the per-operand
+    summaries of :mod:`repro.core.operands`.
     """
-    from repro.core.spgemm_device import DeviceStats
-
-    m_dim, k_dim = a.shape
-    n_dim = b.shape[1]
-    n_row_tiles = num_tiles(m_dim, config.tm)
-    n_col_tiles = num_tiles(n_dim, config.tn)
-    n_k_tiles = num_tiles(k_dim, config.tk)
-
-    a_mask = a != 0
-    b_mask = b != 0
-    # nnz of each (row tile, k) column segment of A / (k, col tile) row
-    # segment of B — the quantities every instruction count factors over.
-    a_seg_nnz = _segment_nnz(a_mask, config.tm, axis=0)  # (row_tiles, K)
-    b_seg_nnz = _segment_nnz(b_mask, config.tn, axis=1)  # (K, col_tiles)
-
-    # OHMMA issued: quantized operand groups, summed per k and multiplied
-    # across the two sides (zero-nnz segments contribute zero groups).
-    a_groups = (a_seg_nnz + config.ohmma_m - 1) // config.ohmma_m
-    b_groups = (b_seg_nnz + config.ohmma_n - 1) // config.ohmma_n
-    ohmma_issued = int(np.sum(a_groups.sum(axis=0) * b_groups.sum(axis=1)))
-
-    # BOHMMA / active sets: one per (i, k, j) with both segments non-zero.
-    active_sets = int(
-        np.sum((a_seg_nnz > 0).sum(axis=0) * (b_seg_nnz > 0).sum(axis=1))
-    )
-
-    # Useful MACs; the merge gathers/accumulates/scatters once per MAC.
-    macs = int(np.sum(a_seg_nnz.sum(axis=0) * b_seg_nnz.sum(axis=1)))
-
-    # Warp-tile occupancy drives the two-level-bitmap pair skips.
-    a_tile_nnz = _segment_nnz(a_seg_nnz, config.tk, axis=1)  # (row_tiles, k_tiles)
-    b_tile_nnz = _segment_nnz(b_seg_nnz, config.tk, axis=0)  # (k_tiles, col_tiles)
-    a_occupied_per_k = (a_tile_nnz > 0).sum(axis=0)
-    b_occupied_per_k = (b_tile_nnz > 0).sum(axis=1)
-    pairs_active_per_k = a_occupied_per_k * b_occupied_per_k
-    pairs_total = n_row_tiles * n_col_tiles * n_k_tiles
-    pairs_skipped = pairs_total - int(pairs_active_per_k.sum())
-
-    # Sets and dense-equivalent OHMMA count edge k-tiles at their actual
-    # extent, exactly as the per-tile loop does.
-    k_extents = _tile_extents(k_dim, config.tk)
-    sets_total = n_row_tiles * n_col_tiles * k_dim
-    sets_skipped = sets_total - active_sets
-    ohmma_dense = sets_total * config.ohmma_per_set
-
-    # POPC: two per set, issued only inside pairs the warp-bitmap keeps.
-    popc_issued = 2 * int(np.sum(pairs_active_per_k * k_extents))
-
-    warp = WarpStats(
-        sets_total=sets_total,
-        sets_skipped=sets_skipped,
-        bohmma_issued=active_sets,
-        popc_issued=popc_issued,
-        ohmma_issued=ohmma_issued,
-        ohmma_skipped=ohmma_dense - ohmma_issued,
-        ohmma_dense=ohmma_dense,
-        multiply_macs=macs,
-        merge=MergeStats(gathers=macs, accumulations=macs, scatters=macs),
-    )
-    return DeviceStats(
-        warp=warp,
-        warp_tile_pairs_total=pairs_total,
-        warp_tile_pairs_skipped=pairs_skipped,
-        a_bytes_dense=a.size * element_bytes,
-        b_bytes_dense=b.size * element_bytes,
-        a_bytes_compressed=_two_level_footprint_bytes(
-            a_tile_nnz,
-            _tile_extents(m_dim, config.tm),
-            k_extents,
-            int(a_mask.sum()),
-            element_bytes,
-        ),
-        b_bytes_compressed=_two_level_footprint_bytes(
-            b_tile_nnz,
-            k_extents,
-            _tile_extents(n_dim, config.tn),
-            int(b_mask.sum()),
-            element_bytes,
-        ),
-        output_bytes=m_dim * n_dim * 4,
+    return device_stats_from_operands(
+        as_gemm_operand(a, "a"),
+        as_gemm_operand(b, "b"),
+        config,
+        element_bytes=element_bytes,
     )
 
 
 def vectorized_device_spgemm(
-    a: np.ndarray,
-    b: np.ndarray,
+    a,
+    b,
     config: WarpTileConfig | None = None,
     element_bytes: int = 2,
 ) -> "DeviceSpGemmResult":
@@ -250,17 +153,31 @@ def vectorized_device_spgemm(
     Drop-in replacement for the reference loop of
     :func:`repro.core.spgemm_device.device_spgemm`: same numeric output
     (bit-identical) and the same :class:`DeviceStats`, computed orders of
-    magnitude faster.  ``collect_positions`` is not supported here — the
-    per-step accumulation-buffer replay is inherently sequential, so the
-    dispatcher routes that case to the reference loop.
+    magnitude faster.  Either operand may be a dense ndarray or any
+    pre-encoded type accepted by
+    :func:`repro.core.operands.as_gemm_operand`.  ``collect_positions``
+    is not supported here — the per-step accumulation-buffer replay is
+    inherently sequential, so the dispatcher routes that case to the
+    reference loop.
     """
     from repro.core.spgemm_device import DeviceSpGemmResult
 
     config = config or WarpTileConfig()
-    a = check_2d(a, "a")
-    b = check_2d(b, "b")
-    if a.shape[1] != b.shape[0]:
-        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
-    stats = vectorized_device_stats(a, b, config, element_bytes=element_bytes)
-    output = vectorized_numeric_product(a, b)
+    a_op = as_gemm_operand(a, "a", "a")
+    b_op = as_gemm_operand(b, "b", "b")
+    if a_op.shape[1] != b_op.shape[0]:
+        raise ShapeError(
+            f"inner dimensions differ: {a_op.shape} @ {b_op.shape}"
+        )
+    stats = device_stats_from_operands(
+        a_op, b_op, config, element_bytes=element_bytes
+    )
+    output = vectorized_numeric_product(
+        a_op.dense,
+        b_op.dense,
+        a_col_nnz=a_op.k_nnz,
+        b_row_nnz=b_op.k_nnz,
+        a_finite=a_op.all_finite,
+        b_finite=b_op.all_finite,
+    )
     return DeviceSpGemmResult(output=output, stats=stats)

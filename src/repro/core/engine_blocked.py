@@ -20,10 +20,24 @@ steps each).  For every panel:
 3. one BLAS-backed :func:`np.matmul` accumulates the panel's
    contribution, panels visited in ascending-k order.
 
-Statistics are *not* re-derived: :func:`blocked_device_spgemm` calls the
-same :func:`repro.core.engine.vectorized_device_stats` closed form the
-vectorized engine uses, so every :class:`DeviceStats` / ``WarpStats``
-field stays bit-identical to the reference backend by construction.
+Either operand may be a plain ndarray or a pre-encoded
+:class:`~repro.core.operands.EncodedOperand`.  A persistent encoded
+operand caches its per-k non-zero counts, its float64 view and — most
+importantly — its *condensed K-panels*
+(:meth:`~repro.core.operands.EncodedOperand.panels`): the candidate
+steps and gathered panel blocks of the static side, built once per
+session.  At multiply time the survivors of a panel are always a subset
+of its candidates, so the static side of every panel matmul is either
+the cached block or a gather from it.  The gathered values (and their
+ascending-k order) are identical either way, so cached and uncached
+runs stay bit-identical (asserted in
+``tests/core/test_encoded_operands.py``).
+
+Statistics are *not* re-derived: :func:`blocked_device_spgemm` composes
+the same per-operand summaries
+(:func:`repro.core.operands.device_stats_from_operands`) the vectorized
+engine uses, so every :class:`DeviceStats` / ``WarpStats`` field stays
+bit-identical to the reference backend by construction.
 
 Accumulation-order guarantees
 -----------------------------
@@ -49,9 +63,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.operands import (
+    EncodedOperand,
+    as_gemm_operand,
+    device_stats_from_operands,
+)
 from repro.core.spgemm_warp import WarpTileConfig
 from repro.errors import ShapeError
-from repro.utils.validation import check_2d
 
 #: Warp k-tiles folded into one matmul panel.  With the paper's
 #: ``tk = 16`` this makes 256-step panels: wide enough that BLAS
@@ -60,9 +78,37 @@ from repro.utils.validation import check_2d
 DEFAULT_PANEL_TILES = 16
 
 
+def _panel_operand(
+    op: EncodedOperand,
+    panels,
+    index: int,
+    survivors: np.ndarray,
+    k0: int,
+    k1: int,
+) -> np.ndarray:
+    """The float64 panel block of one operand for the surviving steps.
+
+    With condensed panels cached, the survivors are mapped into the
+    stored candidate block; otherwise the block is a contiguous slice
+    (whole panel alive) or a direct gather from the dense operand.  The
+    values and their ascending-k order are identical on every path.
+    """
+    if panels is not None:
+        cand = panels.candidates[index]
+        block = panels.blocks[index]
+        if survivors.size == cand.size:
+            return block
+        local = np.searchsorted(cand, survivors)
+        return block[:, local] if op.side == "a" else block[local, :]
+    dense64 = op.dense64
+    if survivors.size == k1 - k0:
+        return dense64[:, k0:k1] if op.side == "a" else dense64[k0:k1, :]
+    return dense64[:, survivors] if op.side == "a" else dense64[survivors, :]
+
+
 def blocked_numeric_product(
-    a: np.ndarray,
-    b: np.ndarray,
+    a,
+    b,
     config: WarpTileConfig | None = None,
     panel_tiles: int = DEFAULT_PANEL_TILES,
 ) -> np.ndarray:
@@ -71,50 +117,66 @@ def blocked_numeric_product(
     See the module docstring for the panel-gather algorithm and the
     accumulation-order guarantees.  Non-finite operands delegate to
     :func:`repro.core.engine.vectorized_numeric_product`, which never
-    forms products with a zero operand.
+    forms products with a zero operand.  Operands may be ndarrays or
+    pre-encoded :class:`~repro.core.operands.EncodedOperand` objects.
     """
-    from repro.core.engine import operand_k_activity, vectorized_numeric_product
+    from repro.core.engine import vectorized_numeric_product
 
     config = config or WarpTileConfig()
     if panel_tiles < 1:
         raise ShapeError(f"panel_tiles must be >= 1, got {panel_tiles}")
-    m_dim, k_dim = a.shape
-    n_dim = b.shape[1]
-    a64 = a.astype(np.float64, copy=False)
-    b64 = b.astype(np.float64, copy=False)
+    a_op = as_gemm_operand(a, "a", "a")
+    b_op = as_gemm_operand(b, "b", "b")
+    m_dim, k_dim = a_op.shape
+    n_dim = b_op.shape[1]
     output = np.zeros((m_dim, n_dim), dtype=np.float64)
-    alive = operand_k_activity(a64, b64)
+    alive = a_op.k_activity & b_op.k_activity
     if not alive.any():
         return output
-    if not (bool(np.isfinite(a64).all()) and bool(np.isfinite(b64).all())):
+    if not (a_op.all_finite and b_op.all_finite):
         # A dense panel matmul would evaluate 0 * inf = NaN partials the
         # condensed reference never forms; the per-step path is exact.
-        return vectorized_numeric_product(a, b)
+        return vectorized_numeric_product(
+            a_op.dense,
+            b_op.dense,
+            a_col_nnz=a_op.k_nnz,
+            b_row_nnz=b_op.k_nnz,
+            a_finite=a_op.all_finite,
+            b_finite=b_op.all_finite,
+        )
 
     panel = config.tk * panel_tiles
-    scratch = np.empty((m_dim, n_dim), dtype=np.float64)
-    for k0 in range(0, k_dim, panel):
+    a_panels = a_op.panels(panel)
+    b_panels = b_op.panels(panel)
+    scratch = None  # allocated only if a second live panel accumulates
+    first = True
+    for index, k0 in enumerate(range(0, k_dim, panel)):
         k1 = min(k0 + panel, k_dim)
         survivors = np.flatnonzero(alive[k0:k1])
         if survivors.size == 0:
             # All-empty panel: the warp-bitmap already proves every step
             # in it is skippable, so the operands are never gathered.
             continue
-        if survivors.size == k1 - k0:
-            a_panel = a64[:, k0:k1]
-            b_panel = b64[k0:k1, :]
+        survivors += k0
+        a_panel = _panel_operand(a_op, a_panels, index, survivors, k0, k1)
+        b_panel = _panel_operand(b_op, b_panels, index, survivors, k0, k1)
+        if first:
+            # The first live panel writes the output directly: adding its
+            # product to the zero initialisation is a redundant full
+            # M x N pass (0.0 + x == x).
+            np.matmul(a_panel, b_panel, out=output)
+            first = False
         else:
-            survivors += k0
-            a_panel = a64[:, survivors]
-            b_panel = b64[survivors, :]
-        np.matmul(a_panel, b_panel, out=scratch)
-        output += scratch
+            if scratch is None:
+                scratch = np.empty((m_dim, n_dim), dtype=np.float64)
+            np.matmul(a_panel, b_panel, out=scratch)
+            output += scratch
     return output
 
 
 def blocked_device_spgemm(
-    a: np.ndarray,
-    b: np.ndarray,
+    a,
+    b,
     config: WarpTileConfig | None = None,
     element_bytes: int = 2,
     panel_tiles: int = DEFAULT_PANEL_TILES,
@@ -123,18 +185,22 @@ def blocked_device_spgemm(
 
     Drop-in replacement for the vectorized engine on large shapes: the
     numeric product comes from :func:`blocked_numeric_product`, every
-    statistics field from the shared closed-form
-    :func:`repro.core.engine.vectorized_device_stats` — bit-identical to
-    both existing backends.
+    statistics field from the shared closed-form operand summaries
+    (:func:`repro.core.operands.device_stats_from_operands`) —
+    bit-identical to both existing backends.  Either operand may be
+    dense or pre-encoded.
     """
-    from repro.core.engine import vectorized_device_stats
     from repro.core.spgemm_device import DeviceSpGemmResult
 
     config = config or WarpTileConfig()
-    a = check_2d(a, "a")
-    b = check_2d(b, "b")
-    if a.shape[1] != b.shape[0]:
-        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
-    stats = vectorized_device_stats(a, b, config, element_bytes=element_bytes)
-    output = blocked_numeric_product(a, b, config=config, panel_tiles=panel_tiles)
+    a_op = as_gemm_operand(a, "a", "a")
+    b_op = as_gemm_operand(b, "b", "b")
+    if a_op.shape[1] != b_op.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a_op.shape} @ {b_op.shape}")
+    stats = device_stats_from_operands(
+        a_op, b_op, config, element_bytes=element_bytes
+    )
+    output = blocked_numeric_product(
+        a_op, b_op, config=config, panel_tiles=panel_tiles
+    )
     return DeviceSpGemmResult(output=output, stats=stats)

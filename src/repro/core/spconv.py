@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.core.im2col_bitmap import BitmapIm2colStats, bitmap_im2col
 from repro.core.im2col_dense import flatten_weights
+from repro.core.operands import EncodedOperand
 from repro.core.reference import conv_output_shape
 from repro.core.spgemm_device import BACKENDS, DeviceStats, device_spgemm
 from repro.core.spgemm_warp import WarpTileConfig
@@ -55,9 +56,69 @@ class SparseConvResult:
     stats: SpConvStats
 
 
+@dataclass(frozen=True)
+class CompiledConvWeights:
+    """Convolution weights flattened and encoded once for reuse.
+
+    Pruned weights are static for the lifetime of a model, yet
+    :func:`sparse_conv2d` historically re-flattened and re-encoded them
+    on every call.  Compiling them captures the flattened GEMM operand
+    as a persistent :class:`~repro.core.operands.EncodedOperand` (plus
+    the geometry and sparsity the pipeline reports), so repeated
+    convolutions — one per served image — skip all weight-side work.
+    Results are bit-identical to passing the dense weights.
+
+    Attributes:
+        shape: original (N, C, K, K) weight shape.
+        operand: the flattened (K*K*C, N) right-hand GEMM operand.
+        weight_sparsity: zero fraction of the weights.
+    """
+
+    shape: tuple[int, int, int, int]
+    operand: EncodedOperand
+    weight_sparsity: float
+
+    @classmethod
+    def from_dense(
+        cls, weights: np.ndarray, persistent: bool = True
+    ) -> "CompiledConvWeights":
+        """Flatten and encode dense (N, C, K, K) convolution weights.
+
+        ``persistent=False`` marks the operand as throwaway: the blocked
+        engine then skips building session-lifetime K-panel caches —
+        the right choice when the weights serve a single call.
+        """
+        weights = np.asarray(weights)
+        if weights.ndim != 4:
+            raise ShapeError(f"weights must be (N, C, K, K), got {weights.shape}")
+        n_filters = weights.shape[0]
+        return cls(
+            shape=weights.shape,
+            operand=EncodedOperand(
+                flatten_weights(weights), "b", persistent=persistent
+            ),
+            weight_sparsity=sparsity_of(weights.reshape(n_filters, -1)),
+        )
+
+    @property
+    def n_filters(self) -> int:
+        """Number of output channels N."""
+        return self.shape[0]
+
+    @property
+    def in_channels(self) -> int:
+        """Number of input channels C."""
+        return self.shape[1]
+
+    @property
+    def kernel(self) -> int:
+        """Square kernel size K."""
+        return self.shape[-1]
+
+
 def sparse_conv2d(
     feature_map: np.ndarray,
-    weights: np.ndarray,
+    weights,
     stride: int = 1,
     padding: int = 0,
     config: WarpTileConfig | None = None,
@@ -67,7 +128,10 @@ def sparse_conv2d(
 
     Args:
         feature_map: dense (C, H, W) input feature map (zeros included).
-        weights: dense (N, C, K, K) convolution weights.
+        weights: dense (N, C, K, K) convolution weights, or a
+            :class:`CompiledConvWeights` holding the flattened operand
+            encoded once — the fast path for serving many images through
+            the same pruned layer (bit-identical results).
         stride: spatial stride.
         padding: symmetric zero padding.
         config: warp tile geometry forwarded to the SpGEMM.
@@ -89,17 +153,18 @@ def sparse_conv2d(
             f"unknown backend {backend!r}; available: {list(BACKENDS)}"
         )
     feature_map = np.asarray(feature_map)
-    weights = np.asarray(weights)
-    if weights.ndim != 4:
-        raise ShapeError(f"weights must be (N, C, K, K), got {weights.shape}")
+    if not isinstance(weights, CompiledConvWeights):
+        # Dense weights serve this one call only: a throwaway operand
+        # keeps the engines on their zero-copy one-shot paths.
+        weights = CompiledConvWeights.from_dense(weights, persistent=False)
     if feature_map.ndim != 3:
         raise ShapeError(f"feature_map must be (C, H, W), got {feature_map.shape}")
-    if weights.shape[1] != feature_map.shape[0]:
+    if weights.in_channels != feature_map.shape[0]:
         raise ShapeError(
             f"channel mismatch: feature map has {feature_map.shape[0]} channels, "
-            f"weights expect {weights.shape[1]}"
+            f"weights expect {weights.in_channels}"
         )
-    kernel = weights.shape[-1]
+    kernel = weights.kernel
     channels, height, width = feature_map.shape
     out_h, out_w = conv_output_shape(height, width, kernel, stride, padding)
 
@@ -110,12 +175,11 @@ def sparse_conv2d(
     im2col_result = bitmap_im2col(
         feature_map, kernel, stride, padding, backend=im2col_backend
     )
-    flat_weights = flatten_weights(weights)
     gemm_result = device_spgemm(
-        im2col_result.lowered, flat_weights, config=config, backend=backend
+        im2col_result.lowered, weights.operand, config=config, backend=backend
     )
 
-    n_filters = weights.shape[0]
+    n_filters = weights.n_filters
     output = (
         gemm_result.output.reshape(out_h, out_w, n_filters).transpose(2, 0, 1)
     )
@@ -123,7 +187,7 @@ def sparse_conv2d(
         im2col=im2col_result.stats,
         gemm=gemm_result.stats,
         activation_sparsity=sparsity_of(feature_map.reshape(channels, -1)),
-        weight_sparsity=sparsity_of(weights.reshape(n_filters, -1)),
+        weight_sparsity=weights.weight_sparsity,
         lowered_shape=im2col_result.lowered.shape,
     )
     return SparseConvResult(output=output, stats=stats)

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.operands import as_gemm_operand
 from repro.core.spgemm_warp import WarpStats, WarpTileConfig, warp_spgemm
 from repro.errors import ConfigError, ShapeError
 from repro.formats.bitmap import BitmapMatrix
@@ -78,6 +79,30 @@ class DeviceStats:
             return 0.0
         return self.warp_tile_pairs_skipped / self.warp_tile_pairs_total
 
+    def merge_with(self, other: "DeviceStats") -> None:
+        """Fold another device-level stats object into this one.
+
+        Used by the batch-folding session runtime: the fused run's
+        statistics are by definition the sum of the per-image statistics
+        it serves (:mod:`repro.nn.session`).
+        """
+        self.warp.merge_with(other.warp)
+        self.warp_tile_pairs_total += other.warp_tile_pairs_total
+        self.warp_tile_pairs_skipped += other.warp_tile_pairs_skipped
+        self.a_bytes_dense += other.a_bytes_dense
+        self.b_bytes_dense += other.b_bytes_dense
+        self.a_bytes_compressed += other.a_bytes_compressed
+        self.b_bytes_compressed += other.b_bytes_compressed
+        self.output_bytes += other.output_bytes
+
+    @classmethod
+    def summed(cls, stats_list) -> "DeviceStats":
+        """A fresh stats object equal to the sum of ``stats_list``."""
+        total = cls()
+        for stats in stats_list:
+            total.merge_with(stats)
+        return total
+
 
 @dataclass(frozen=True)
 class DeviceSpGemmResult:
@@ -94,9 +119,10 @@ BACKENDS = ("auto", "blocked", "vectorized", "reference")
 #: the K-panel blocked engine instead of the per-step vectorized engine.
 #: Below the threshold the vectorized engine is kept for its bit-exact
 #: reference parity; above it the blocked engine's BLAS panels win by a
-#: wide margin and stay exact on integer-valued data (within 2 float32
-#: ulps otherwise — see :mod:`repro.core.engine_blocked`).
-AUTO_BLOCKED_MIN_WORK = 1 << 26
+#: wide margin (roughly 10x already at this size) and stay exact on
+#: integer-valued data (within 2 float32 ulps otherwise — see
+#: :mod:`repro.core.engine_blocked`).
+AUTO_BLOCKED_MIN_WORK = 1 << 25
 
 
 def resolve_backend(
@@ -130,8 +156,8 @@ def resolve_backend(
 
 
 def device_spgemm(
-    a: np.ndarray,
-    b: np.ndarray,
+    a,
+    b,
     config: WarpTileConfig | None = None,
     element_bytes: int = 2,
     collect_positions: bool = False,
@@ -140,8 +166,12 @@ def device_spgemm(
     """Functional device-level SpGEMM.
 
     Args:
-        a: dense (M x K) left operand (zeros included).
-        b: dense (K x N) right operand.
+        a: (M x K) left operand — a dense ndarray (zeros included), or a
+            pre-encoded operand that skips the per-call encoding work: an
+            :class:`~repro.core.operands.EncodedOperand` (side ``"a"``),
+            a :class:`~repro.formats.hierarchical.TwoLevelBitmapMatrix`
+            or a :class:`~repro.core.api.SparseMatrix`.
+        b: (K x N) right operand, same accepted types (side ``"b"``).
         config: warp tile geometry (defaults to the paper's 32x32x16).
         element_bytes: operand element width used for traffic accounting.
         collect_positions: record accumulation-buffer access positions
@@ -155,39 +185,38 @@ def device_spgemm(
             return identical statistics; numerics are bit-identical
             between ``"vectorized"`` and ``"reference"``, and exact on
             integer-valued data (within 2 float32 ulps otherwise) for
-            ``"blocked"``.
+            ``"blocked"``.  Pre-encoded operands never change the result
+            — only how much per-call work is skipped.
 
     Returns:
         The product ``a @ b`` plus the statistics needed by the cost
         models.
     """
     config = config or WarpTileConfig()
-    a = check_2d(a, "a")
-    b = check_2d(b, "b")
-    if a.shape[1] != b.shape[0]:
-        raise ShapeError(f"inner dimensions differ: {a.shape} @ {b.shape}")
-    m_dim, k_dim = a.shape
-    n_dim = b.shape[1]
+    a_op = as_gemm_operand(a, "a", "a")
+    b_op = as_gemm_operand(b, "b", "b")
+    if a_op.shape[1] != b_op.shape[0]:
+        raise ShapeError(f"inner dimensions differ: {a_op.shape} @ {b_op.shape}")
+    m_dim, k_dim = a_op.shape
+    n_dim = b_op.shape[1]
     resolved = resolve_backend(backend, m_dim, k_dim, n_dim, collect_positions)
     if resolved == "blocked":
         from repro.core.engine_blocked import blocked_device_spgemm
 
         return blocked_device_spgemm(
-            a, b, config=config, element_bytes=element_bytes
+            a_op, b_op, config=config, element_bytes=element_bytes
         )
     if resolved == "vectorized":
         from repro.core.engine import vectorized_device_spgemm
 
         return vectorized_device_spgemm(
-            a, b, config=config, element_bytes=element_bytes
+            a_op, b_op, config=config, element_bytes=element_bytes
         )
 
-    a_encoded = TwoLevelBitmapMatrix.from_dense(
-        a, tile_shape=(config.tm, config.tk), order="col", element_bytes=element_bytes
-    )
-    b_encoded = TwoLevelBitmapMatrix.from_dense(
-        b, tile_shape=(config.tk, config.tn), order="row", element_bytes=element_bytes
-    )
+    a = a_op.dense
+    b = b_op.dense
+    a_encoded = a_op.two_level(config, element_bytes)
+    b_encoded = b_op.two_level(config, element_bytes)
 
     stats = DeviceStats()
     stats.a_bytes_dense = a.size * element_bytes
@@ -281,7 +310,7 @@ def count_device_instructions(
     pads edge k-tiles to full size, matching the hardware's padded
     execution.
     """
-    from repro.core.engine import _segment_nnz
+    from repro.core.operands import segment_nnz as _segment_nnz
 
     config = config or WarpTileConfig()
     a = check_2d(a, "a")

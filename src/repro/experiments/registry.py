@@ -167,6 +167,15 @@ _SPECS = (
         sweepable=frozenset({"models", "scale", "backend"}),
     ),
     ExperimentSpec(
+        name="serve",
+        module="repro.experiments.serve",
+        func="run_serve",
+        description="Compiled-session serving throughput across batch sizes",
+        defaults={"scale": 1.0},
+        quick={"scale": 0.0625, "batch_sizes": [1, 3]},
+        sweepable=frozenset({"models", "batch_sizes", "scale", "backend"}),
+    ),
+    ExperimentSpec(
         name="spconv",
         module="repro.experiments.spconv_pipeline",
         func="run_spconv",

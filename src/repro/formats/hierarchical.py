@@ -162,7 +162,23 @@ class TwoLevelBitmapMatrix:
             element_bytes=element_bytes,
         )
         object.__setattr__(self, "_tile_nnz", tile_nnz)
+        object.__setattr__(self, "_dense", dense)
         return self
+
+    def dense_view(self) -> np.ndarray:
+        """The dense matrix this encoding was built from, losslessly.
+
+        Instances built by :meth:`from_dense` keep a reference to the
+        original array (no copy), so the functional engines can consume
+        a pre-built encoding without a lossy round-trip; hand-assembled
+        instances reconstruct via :meth:`to_dense` (float32).  The
+        returned array must not be mutated — the encoding and the
+        caches of :mod:`repro.core.operands` alias it.
+        """
+        cached = getattr(self, "_dense", None)
+        if cached is not None:
+            return cached
+        return self.to_dense()
 
     def to_dense(self) -> np.ndarray:
         """Decode back to a dense array."""

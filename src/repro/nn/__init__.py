@@ -17,9 +17,21 @@ from repro.nn.functional import (
 )
 from repro.nn.inference import ModelEvaluator, LayerResult, ModelResult
 from repro.nn.models import MODEL_REGISTRY, get_model
+from repro.nn.session import (
+    CompiledLayer,
+    CompiledModel,
+    SessionRun,
+    compile_model,
+)
+from repro.nn.synthetic import clear_operand_memo
 
 __all__ = [
     "Conv2dLayer",
+    "CompiledLayer",
+    "CompiledModel",
+    "SessionRun",
+    "compile_model",
+    "clear_operand_memo",
     "FunctionalLayerRun",
     "FunctionalModelRun",
     "run_model_functional",

@@ -8,6 +8,13 @@ dual-side pipeline in one call — sparse im2col + outer-product SpGEMM
 for CNN layers, transposed-GEMM SpGEMM for the BERT / RNN layers —
 returning per-layer :class:`~repro.core.spgemm_device.DeviceStats`.
 
+Operands come from the independent per-layer streams of
+:mod:`repro.nn.synthetic`: weights are a pure function of ``(model,
+layer, seed)`` and activations of ``(model, layer, seed, image)``, so
+the ``image`` argument selects one served input and the compiled
+inference sessions of :mod:`repro.nn.session` reproduce these runs
+bit-for-bit while encoding the weights only once.
+
 With the reference Python loop such runs were restricted to toy sizes;
 the K-panel blocked engine (:mod:`repro.core.engine_blocked`, selected
 by ``backend="auto"`` for large layers) makes full-resolution
@@ -19,7 +26,7 @@ instruction statistics remain representative of the pruned model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -29,8 +36,13 @@ from repro.core.spgemm_warp import WarpTileConfig
 from repro.errors import ConfigError
 from repro.kernels.layer_spec import ConvLayerSpec, GemmLayerSpec
 from repro.nn.models import ModelDefinition, get_model
-from repro.pruning.movement import block_movement_prune
-from repro.sparsity.generators import random_sparse_matrix
+from repro.nn.synthetic import (
+    conv_feature_map,
+    conv_layer_weights,
+    gemm_activations,
+    gemm_layer_weights,
+)
+from repro.sparsity.statistics import sparsity as sparsity_of
 
 
 @dataclass(frozen=True)
@@ -44,6 +56,10 @@ class FunctionalLayerRun:
         weight_sparsity: measured zero fraction of the generated weights.
         activation_sparsity: measured zero fraction of the activations.
         stats: device-level statistics of the SpGEMM stage.
+        output: numeric layer output — the (N, OH, OW) feature map for
+            conv layers, the transposed (N, M) product for GEMM layers.
+            Only kept when requested (``keep_outputs=True``); excluded
+            from equality comparisons.
     """
 
     layer: str
@@ -52,6 +68,7 @@ class FunctionalLayerRun:
     weight_sparsity: float
     activation_sparsity: float
     stats: DeviceStats
+    output: "np.ndarray | None" = field(default=None, compare=False, repr=False)
 
     @property
     def instruction_speedup(self) -> float:
@@ -90,29 +107,19 @@ class FunctionalModelRun:
         return self.ohmma_dense / issued
 
 
-def _scaled_spatial(value: int, kernel: int, scale: float) -> int:
-    """Scale a spatial dimension, never below the kernel footprint."""
-    return max(kernel, int(round(value * scale)))
-
-
 def _run_conv_layer(
     spec: ConvLayerSpec,
-    rng: np.random.Generator,
+    model_name: str,
+    seed: int,
+    image: int,
     scale: float,
     config: WarpTileConfig | None,
     backend: str,
+    keep_output: bool,
 ) -> FunctionalLayerRun:
     """Materialise one convolution layer and run the sparse pipeline."""
-    height = _scaled_spatial(spec.height, spec.kernel, scale)
-    width = _scaled_spatial(spec.width, spec.kernel, scale)
-    feature_map = random_sparse_matrix(
-        (spec.in_channels * height, width), 1.0 - spec.activation_sparsity, rng
-    ).reshape(spec.in_channels, height, width)
-    weights = random_sparse_matrix(
-        (spec.out_channels, spec.in_channels * spec.kernel * spec.kernel),
-        1.0 - spec.weight_sparsity,
-        rng,
-    ).reshape(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel)
+    feature_map = conv_feature_map(model_name, spec, seed, image=image, scale=scale)
+    weights = conv_layer_weights(model_name, spec, seed)
     result = sparse_conv2d(
         feature_map,
         weights,
@@ -129,43 +136,42 @@ def _run_conv_layer(
         weight_sparsity=result.stats.weight_sparsity,
         activation_sparsity=result.stats.activation_sparsity,
         stats=result.stats.gemm,
+        output=result.output if keep_output else None,
     )
 
 
 def _run_gemm_layer(
     spec: GemmLayerSpec,
-    rng: np.random.Generator,
+    model_name: str,
+    seed: int,
+    image: int,
     scale: float,
     config: WarpTileConfig | None,
     backend: str,
     weight_pattern: str,
+    keep_output: bool,
 ) -> FunctionalLayerRun:
     """Materialise one GEMM layer and run the transposed-layer SpGEMM.
 
     As in :class:`repro.nn.inference.ModelEvaluator`, the executed product
     is ``Y^T = W^T @ X^T`` so the pruned weight matrix sits on the
-    outer product's fine-granularity A side.
+    outer product's fine-granularity A side.  The transposes are passed
+    as views — the engines never mutate their operands, so no
+    double materialisation is needed.
     """
-    m_rows = max(1, int(round(spec.m * scale)))
-    weights = rng.uniform(0.5, 1.5, size=(spec.k, spec.n))
-    if weight_pattern == "blocked":
-        weights = block_movement_prune(weights, spec.weight_sparsity, block=32)
-    else:
-        mask = rng.random(weights.shape) >= spec.weight_sparsity
-        weights = np.where(mask, weights, 0.0)
-    activations = random_sparse_matrix(
-        (m_rows, spec.k), 1.0 - spec.activation_sparsity, rng
-    )
+    weights = gemm_layer_weights(model_name, spec, seed, weight_pattern)
+    activations = gemm_activations(model_name, spec, seed, image=image, scale=scale)
     result = device_spgemm(
-        weights.T.copy(), activations.T.copy(), config=config, backend=backend
+        weights.T, activations.T, config=config, backend=backend
     )
     return FunctionalLayerRun(
         layer=spec.name,
         kind="gemm",
-        gemm_shape=(spec.n, spec.k, m_rows),
-        weight_sparsity=1.0 - np.count_nonzero(weights) / weights.size,
-        activation_sparsity=1.0 - np.count_nonzero(activations) / activations.size,
+        gemm_shape=(spec.n, spec.k, activations.shape[0]),
+        weight_sparsity=sparsity_of(weights),
+        activation_sparsity=sparsity_of(activations),
         stats=result.stats,
+        output=result.output if keep_output else None,
     )
 
 
@@ -175,6 +181,8 @@ def run_model_functional(
     seed: int = 2021,
     config: WarpTileConfig | None = None,
     backend: str = "auto",
+    image: int = 0,
+    keep_outputs: bool = False,
 ) -> FunctionalModelRun:
     """Execute every representative layer of a model functionally.
 
@@ -189,6 +197,12 @@ def run_model_functional(
             blocked engine for large layers, the vectorized engine
             otherwise), ``"blocked"``, ``"vectorized"`` or
             ``"reference"``.
+        image: which served input to draw the activations for (weights
+            do not depend on it).  ``run_model_functional(..., image=i)``
+            is the per-image oracle of the batch-folding sessions in
+            :mod:`repro.nn.session`.
+        keep_outputs: retain every layer's numeric output on the run
+            records (off by default — whole-model outputs are large).
 
     Returns:
         Per-layer and aggregate instruction statistics of the whole
@@ -198,16 +212,21 @@ def run_model_functional(
         model = get_model(model)
     if not 0.0 < scale <= 1.0:
         raise ConfigError(f"scale must be in (0, 1], got {scale}")
-    rng = np.random.default_rng(seed)
     layers: list[FunctionalLayerRun] = []
     if model.kind == "cnn":
         for spec in model.conv_layers:
-            layers.append(_run_conv_layer(spec, rng, scale, config, backend))
+            layers.append(
+                _run_conv_layer(
+                    spec, model.name, seed, image, scale, config, backend,
+                    keep_outputs,
+                )
+            )
     else:
         for spec in model.gemm_layers:
             layers.append(
                 _run_gemm_layer(
-                    spec, rng, scale, config, backend, model.weight_pattern
+                    spec, model.name, seed, image, scale, config, backend,
+                    model.weight_pattern, keep_outputs,
                 )
             )
     return FunctionalModelRun(model=model.name, layers=tuple(layers))

@@ -13,8 +13,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.operands import EncodedOperand
 from repro.core.reference import conv_output_shape
-from repro.core.spconv import sparse_conv2d
+from repro.core.spconv import CompiledConvWeights, sparse_conv2d
 from repro.core.spgemm_device import device_spgemm
 from repro.errors import ShapeError
 from repro.kernels.layer_spec import ConvLayerSpec, GemmLayerSpec
@@ -46,12 +47,26 @@ class Conv2dLayer:
         self.weights = np.asarray(self.weights)
         if self.weights.ndim != 4:
             raise ShapeError(f"weights must be (N, C, K, K), got {self.weights.shape}")
+        self._compiled: "CompiledConvWeights | None" = None
+        self._compiled_from: "np.ndarray | None" = None
+
+    def _compiled_weights(self) -> CompiledConvWeights:
+        """The weights flattened and encoded once (bit-identical results).
+
+        Rebuilt if the ``weights`` field is reassigned; mutating the
+        tensor *in place* after a forward pass is not supported — the
+        encoding (like the paper's, produced once) would go stale.
+        """
+        if self._compiled is None or self._compiled_from is not self.weights:
+            self._compiled = CompiledConvWeights.from_dense(self.weights)
+            self._compiled_from = self.weights
+        return self._compiled
 
     def forward(self, feature_map: np.ndarray) -> np.ndarray:
         """Run the layer through the dual-side sparse convolution pipeline."""
         result = sparse_conv2d(
             feature_map,
-            self.weights,
+            self._compiled_weights(),
             stride=self.stride,
             padding=self.padding,
             backend=self.backend,
@@ -98,6 +113,17 @@ class LinearLayer:
         self.weights = np.asarray(self.weights)
         if self.weights.ndim != 2:
             raise ShapeError(f"weights must be 2-D, got {self.weights.shape}")
+        self._encoded: "EncodedOperand | None" = None
+
+    def _encoded_weights(self) -> EncodedOperand:
+        """The right-hand operand encoded once; rebuilt on reassignment.
+
+        Mutating the matrix *in place* after a forward pass is not
+        supported — the encode-once caches would go stale.
+        """
+        if self._encoded is None or self._encoded.dense is not self.weights:
+            self._encoded = EncodedOperand.for_b(self.weights)
+        return self._encoded
 
     def forward(self, activations: np.ndarray) -> np.ndarray:
         """Run the layer through the dual-side SpGEMM."""
@@ -107,7 +133,9 @@ class LinearLayer:
                 f"activation features {activations.shape[1]} do not match weight rows "
                 f"{self.weights.shape[0]}"
             )
-        result = device_spgemm(activations, self.weights, backend=self.backend)
+        result = device_spgemm(
+            activations, self._encoded_weights(), backend=self.backend
+        )
         output = result.output
         return relu(output) if self.apply_relu else output
 

@@ -1,0 +1,246 @@
+"""Synthetic per-layer operands: independent streams + memoization.
+
+The model database records layer shapes and sparsities; the functional
+pipeline materialises *synthetic* pruned weights and activations from
+them.  Two properties matter for the serving runtime:
+
+* **Independent streams.**  Every operand draws from its own
+  :class:`numpy.random.Generator` seeded by ``(seed, model, layer,
+  kind[, image])``, so a layer's weights are a pure function of
+  ``(model, layer, seed)`` and an image's activations of ``(model,
+  layer, seed, image, scale)`` — regardless of which other layers or
+  images are materialised, or in which order.  This is what lets a
+  compiled session (:mod:`repro.nn.session`) encode weights once and
+  still produce activations bit-identical to a fresh
+  :func:`repro.nn.functional.run_model_functional` call.
+* **Memoization.**  Sweeps re-materialise identical operands constantly
+  (every batch size of a ``serve`` sweep compiles the same model; every
+  image of a repeated run re-draws the same activations).  The ``memo=``
+  flag caches operands under content-addressed keys built with the
+  runtime cache's keying helper (:meth:`repro.runtime.cache.ResultCache.key`,
+  hashed over the full layer spec, never just its name), returning
+  read-only arrays so cached operands cannot be mutated in place.
+  ``run_model_functional`` itself stays stateless (``memo=False``).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections import OrderedDict
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.kernels.layer_spec import ConvLayerSpec, GemmLayerSpec
+from repro.pruning.movement import block_movement_prune
+from repro.sparsity.generators import random_sparse_matrix
+
+#: Upper bound on memoized operands; least-recently-used first out.
+MEMO_CAPACITY = 256
+
+#: Upper bound on memoized operand *bytes* — full-resolution weight
+#: matrices and feature maps run to tens of megabytes each, so the entry
+#: cap alone would let a long-lived sweep pin gigabytes.
+MEMO_MAX_BYTES = 256 * 1024 * 1024
+
+_MEMO: "OrderedDict[str, np.ndarray]" = OrderedDict()
+_memo_bytes = 0
+
+
+def clear_operand_memo() -> None:
+    """Drop every memoized operand (used by tests and long-lived sweeps)."""
+    global _memo_bytes
+    _MEMO.clear()
+    _memo_bytes = 0
+
+
+def operand_memo_size() -> int:
+    """Number of operands currently memoized."""
+    return len(_MEMO)
+
+
+def operand_memo_bytes() -> int:
+    """Total bytes of the memoized operands."""
+    return _memo_bytes
+
+
+def _memo_key(kind: str, params: dict) -> str:
+    """Content-addressed memo key via the runtime cache's keying helper."""
+    from repro.runtime.cache import ResultCache
+
+    return ResultCache.key(f"synthetic-{kind}", params)
+
+
+def _memoized(kind: str, params: dict, generate) -> np.ndarray:
+    global _memo_bytes
+    key = _memo_key(kind, params)
+    cached = _MEMO.get(key)
+    if cached is None:
+        cached = generate()
+        if cached.nbytes > MEMO_MAX_BYTES:
+            # An operand that alone exceeds the byte budget would drain
+            # the whole cache only to thrash on every request.
+            return cached
+        cached.flags.writeable = False
+        while _MEMO and (
+            len(_MEMO) >= MEMO_CAPACITY
+            or _memo_bytes + cached.nbytes > MEMO_MAX_BYTES
+        ):
+            _memo_bytes -= _MEMO.popitem(last=False)[1].nbytes
+        _MEMO[key] = cached
+        _memo_bytes += cached.nbytes
+    else:
+        _MEMO.move_to_end(key)
+    return cached
+
+
+def layer_stream(
+    seed: int, model: str, layer: str, kind: str, image: "int | None" = None
+) -> np.random.Generator:
+    """The dedicated RNG of one (model, layer, kind[, image]) operand.
+
+    The string labels are folded into the seed entropy via CRC-32, so
+    the stream is stable across processes and platforms.
+    """
+    entropy = [
+        int(seed),
+        zlib.crc32(model.encode()),
+        zlib.crc32(layer.encode()),
+        zlib.crc32(kind.encode()),
+    ]
+    if image is not None:
+        entropy.append(int(image))
+    return np.random.default_rng(entropy)
+
+
+def scaled_conv_hw(spec: ConvLayerSpec, scale: float) -> tuple[int, int]:
+    """Scaled input (H, W) of a conv layer, never below the kernel."""
+    height = max(spec.kernel, int(round(spec.height * scale)))
+    width = max(spec.kernel, int(round(spec.width * scale)))
+    return height, width
+
+
+def scaled_gemm_rows(spec: GemmLayerSpec, scale: float) -> int:
+    """Scaled batch-row count M of a GEMM layer (at least one row)."""
+    return max(1, int(round(spec.m * scale)))
+
+
+def conv_layer_weights(
+    model: str, spec: ConvLayerSpec, seed: int, memo: bool = False
+) -> np.ndarray:
+    """Pruned (N, C, K, K) weights of one convolution layer."""
+
+    def generate() -> np.ndarray:
+        rng = layer_stream(seed, model, spec.name, "weights")
+        return random_sparse_matrix(
+            (spec.out_channels, spec.in_channels * spec.kernel * spec.kernel),
+            1.0 - spec.weight_sparsity,
+            rng,
+        ).reshape(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel)
+
+    if not memo:
+        return generate()
+    return _memoized(
+        "conv-weights", {"model": model, "spec": asdict(spec), "seed": seed}, generate
+    )
+
+
+def conv_feature_map(
+    model: str,
+    spec: ConvLayerSpec,
+    seed: int,
+    image: int = 0,
+    scale: float = 1.0,
+    memo: bool = False,
+) -> np.ndarray:
+    """Sparse (C, H, W) input feature map of one image for a conv layer."""
+
+    def generate() -> np.ndarray:
+        height, width = scaled_conv_hw(spec, scale)
+        rng = layer_stream(seed, model, spec.name, "activations", image)
+        return random_sparse_matrix(
+            (spec.in_channels * height, width), 1.0 - spec.activation_sparsity, rng
+        ).reshape(spec.in_channels, height, width)
+
+    if not memo:
+        return generate()
+    return _memoized(
+        "conv-activations",
+        {
+            "model": model,
+            "spec": asdict(spec),
+            "seed": seed,
+            "image": image,
+            "scale": scale,
+        },
+        generate,
+    )
+
+
+def gemm_layer_weights(
+    model: str,
+    spec: GemmLayerSpec,
+    seed: int,
+    weight_pattern: str = "uniform",
+    memo: bool = False,
+) -> np.ndarray:
+    """Pruned (K, N) weights of one GEMM layer.
+
+    ``weight_pattern="blocked"`` applies block movement pruning (whole
+    zero blocks, as for BERT); any other value prunes with a uniform
+    random mask at the spec's weight sparsity.
+    """
+
+    def generate() -> np.ndarray:
+        rng = layer_stream(seed, model, spec.name, "weights")
+        weights = rng.uniform(0.5, 1.5, size=(spec.k, spec.n))
+        if weight_pattern == "blocked":
+            return block_movement_prune(weights, spec.weight_sparsity, block=32)
+        mask = rng.random(weights.shape) >= spec.weight_sparsity
+        return np.where(mask, weights, 0.0)
+
+    if not memo:
+        return generate()
+    return _memoized(
+        "gemm-weights",
+        {
+            "model": model,
+            "spec": asdict(spec),
+            "seed": seed,
+            "pattern": weight_pattern,
+        },
+        generate,
+    )
+
+
+def gemm_activations(
+    model: str,
+    spec: GemmLayerSpec,
+    seed: int,
+    image: int = 0,
+    scale: float = 1.0,
+    memo: bool = False,
+) -> np.ndarray:
+    """Sparse (M, K) activations of one sequence for a GEMM layer."""
+
+    def generate() -> np.ndarray:
+        rng = layer_stream(seed, model, spec.name, "activations", image)
+        return random_sparse_matrix(
+            (scaled_gemm_rows(spec, scale), spec.k),
+            1.0 - spec.activation_sparsity,
+            rng,
+        )
+
+    if not memo:
+        return generate()
+    return _memoized(
+        "gemm-activations",
+        {
+            "model": model,
+            "spec": asdict(spec),
+            "seed": seed,
+            "image": image,
+            "scale": scale,
+        },
+        generate,
+    )

@@ -1,0 +1,212 @@
+"""Compiled-session parity: batch folding vs the per-image oracle.
+
+The bit-identity contract of :mod:`repro.nn.session`:
+``session.run(batch).per_image[i]`` must equal
+``run_model_functional(..., image=i, keep_outputs=True)`` exactly —
+numeric outputs bit for bit and every ``DeviceStats`` field — for conv
+and GEMM models, for every backend, and for any batch composition.  The
+fused per-layer statistics are by definition the per-image sums.
+
+Also covers the operand memoization of :mod:`repro.nn.synthetic`: pure
+per-(model, layer, seed[, image]) streams, content-addressed reuse, and
+read-only cached arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.spgemm_device import DeviceStats
+from repro.errors import ConfigError
+from repro.kernels.layer_spec import ConvLayerSpec
+from repro.nn.functional import run_model_functional
+from repro.nn.models import ModelDefinition
+from repro.nn.session import compile_model
+from repro.nn.synthetic import (
+    clear_operand_memo,
+    conv_feature_map,
+    conv_layer_weights,
+    gemm_layer_weights,
+    operand_memo_size,
+)
+
+SETTINGS = settings(max_examples=4, deadline=None, derandomize=True)
+
+
+def tiny_cnn() -> ModelDefinition:
+    """A two-layer CNN small enough for the reference backend."""
+    return ModelDefinition(
+        name="Tiny-CNN",
+        kind="cnn",
+        pruning_scheme="AGP",
+        dataset="synthetic",
+        accuracy="-",
+        conv_layers=(
+            ConvLayerSpec(
+                name="c1", in_channels=3, out_channels=8, height=12, width=12,
+                kernel=3, stride=1, padding=1, weight_sparsity=0.5,
+                activation_sparsity=0.4,
+            ),
+            ConvLayerSpec(
+                name="c2", in_channels=8, out_channels=16, height=12, width=12,
+                kernel=3, stride=2, padding=1, weight_sparsity=0.7,
+                activation_sparsity=0.5,
+            ),
+        ),
+    )
+
+
+def assert_runs_equal(expected, actual):
+    """Bit-exact equality of two per-image functional runs."""
+    assert expected.model == actual.model
+    assert len(expected.layers) == len(actual.layers)
+    for exp, got in zip(expected.layers, actual.layers):
+        assert exp.layer == got.layer
+        assert exp.kind == got.kind
+        assert exp.gemm_shape == got.gemm_shape
+        assert exp.weight_sparsity == got.weight_sparsity
+        assert exp.activation_sparsity == got.activation_sparsity
+        assert exp.stats == got.stats
+        assert np.array_equal(exp.output, got.output)
+
+
+class TestBatchFoldingParity:
+    @pytest.mark.parametrize(
+        "model,scale",
+        [("ResNet-18", 0.0625), ("BERT-base Encoder", 0.25), ("RNN", 0.125)],
+    )
+    def test_batch_matches_per_image_loop(self, model, scale):
+        compiled = compile_model(model, scale=scale, seed=7, memo=False)
+        run = compiled.run(3)
+        assert run.batch == 3 and run.images == (0, 1, 2)
+        for image in range(3):
+            oracle = run_model_functional(
+                model, scale=scale, seed=7, image=image, keep_outputs=True
+            )
+            assert_runs_equal(oracle, run.per_image[image])
+
+    @SETTINGS
+    @given(
+        st.integers(0, 2**31 - 1),
+        st.lists(st.integers(0, 20), min_size=1, max_size=3),
+    )
+    def test_arbitrary_image_sets_and_seeds(self, seed, images):
+        compiled = compile_model("ResNet-18", scale=0.0625, seed=seed, memo=False)
+        run = compiled.run(images)
+        assert run.images == tuple(images)
+        for position, image in enumerate(images):
+            oracle = run_model_functional(
+                "ResNet-18", scale=0.0625, seed=seed, image=image,
+                keep_outputs=True,
+            )
+            assert_runs_equal(oracle, run.per_image[position])
+
+    @pytest.mark.parametrize("backend", ["vectorized", "blocked", "reference"])
+    def test_every_backend_matches_its_oracle(self, backend):
+        model = tiny_cnn()
+        compiled = compile_model(model, scale=1.0, seed=3, backend=backend)
+        run = compiled.run(2)
+        for image in range(2):
+            oracle = run_model_functional(
+                model, seed=3, backend=backend, image=image, keep_outputs=True
+            )
+            assert_runs_equal(oracle, run.per_image[image])
+
+    def test_duplicate_images_serve_identical_results(self):
+        compiled = compile_model(tiny_cnn(), seed=1, memo=False)
+        run = compiled.run([4, 4])
+        assert_runs_equal(run.per_image[0], run.per_image[1])
+
+    def test_run_image_equals_batch_of_one(self):
+        compiled = compile_model("BERT-base Encoder", scale=0.25, seed=9)
+        assert_runs_equal(compiled.run([5]).per_image[0], compiled.run_image(5))
+
+
+class TestFusedStats:
+    def test_layer_stats_sum_over_images(self):
+        compiled = compile_model("ResNet-18", scale=0.0625, seed=5)
+        run = compiled.run(4)
+        fused = run.layer_stats()
+        assert len(fused) == len(compiled.layers)
+        for index, stats in enumerate(fused):
+            expected = DeviceStats.summed(
+                image.layers[index].stats for image in run.per_image
+            )
+            assert stats == expected
+        total = run.total_stats()
+        assert total.warp.ohmma_issued == run.ohmma_issued
+        assert total.warp.ohmma_dense == run.ohmma_dense
+        assert run.ohmma_issued == sum(r.ohmma_issued for r in run.per_image)
+
+    def test_weight_footprint_accounting(self):
+        compiled = compile_model("BERT-base Encoder", scale=0.25, seed=5)
+        assert 0 < compiled.weight_bytes_encoded() < compiled.weight_bytes_dense()
+
+
+class TestOperandMemo:
+    def setup_method(self):
+        clear_operand_memo()
+
+    def teardown_method(self):
+        clear_operand_memo()
+
+    def test_weights_memoized_across_compiles(self):
+        spec = tiny_cnn().conv_layers[0]
+        first = conv_layer_weights("Tiny-CNN", spec, seed=2, memo=True)
+        second = conv_layer_weights("Tiny-CNN", spec, seed=2, memo=True)
+        assert first is second
+        assert not first.flags.writeable
+        fresh = conv_layer_weights("Tiny-CNN", spec, seed=2, memo=False)
+        assert fresh is not first
+        assert np.array_equal(fresh, first)
+
+    def test_memo_keys_distinguish_seed_image_and_scale(self):
+        spec = tiny_cnn().conv_layers[0]
+        base = conv_feature_map("Tiny-CNN", spec, seed=2, image=0, memo=True)
+        assert conv_feature_map("Tiny-CNN", spec, seed=2, image=1, memo=True) is not base
+        assert conv_feature_map("Tiny-CNN", spec, seed=3, image=0, memo=True) is not base
+        assert (
+            conv_feature_map("Tiny-CNN", spec, seed=2, image=0, scale=0.5, memo=True)
+            is not base
+        )
+        assert conv_feature_map("Tiny-CNN", spec, seed=2, image=0, memo=True) is base
+        assert operand_memo_size() == 4
+
+    def test_clear_resets_memo(self):
+        spec = tiny_cnn().conv_layers[0]
+        conv_layer_weights("Tiny-CNN", spec, seed=2, memo=True)
+        assert operand_memo_size() == 1
+        clear_operand_memo()
+        assert operand_memo_size() == 0
+
+    def test_blocked_gemm_weights_streams_are_stable(self):
+        from repro.nn.models import get_model
+
+        bert = get_model("BERT-base Encoder")
+        spec = bert.gemm_layers[0]
+        one = gemm_layer_weights(bert.name, spec, seed=4, weight_pattern="blocked")
+        two = gemm_layer_weights(bert.name, spec, seed=4, weight_pattern="blocked")
+        assert np.array_equal(one, two)
+
+    def test_compiled_sessions_reuse_memoized_weights(self):
+        compile_model("ResNet-18", scale=0.0625, seed=6, memo=True)
+        before = operand_memo_size()
+        compile_model("ResNet-18", scale=0.0625, seed=6, memo=True)
+        assert operand_memo_size() == before  # second compile added nothing
+
+
+class TestValidation:
+    def test_rejects_bad_batch(self):
+        compiled = compile_model("RNN", scale=0.25, seed=1)
+        with pytest.raises(ConfigError):
+            compiled.run(0)
+        with pytest.raises(ConfigError):
+            compiled.run([])
+
+    def test_rejects_bad_scale_and_backend(self):
+        with pytest.raises(ConfigError):
+            compile_model("RNN", scale=0.0)
+        with pytest.raises(ConfigError):
+            compile_model("RNN", backend="gpu")
