@@ -1,6 +1,17 @@
-"""Benchmark: regenerate Figure 22 (layer-wise and full-model speedups)."""
+"""Benchmark: regenerate Figure 22 (layer-wise and full-model speedups).
+
+The two tests split the zoo along the paper's own axis — CNN models
+through the implicit-im2col conv methods, NLP/RNN models through the
+GEMM methods — and together must cover every model of
+:data:`repro.nn.models.DEFAULT_MODELS` (asserted below, so a model added
+to the registry without a Figure 22 benchmark fails here).
+"""
 
 from repro.experiments.fig22_models import run_fig22
+from repro.nn.models import DEFAULT_MODELS, get_model
+
+CNN_MODELS = tuple(m for m in DEFAULT_MODELS if get_model(m).kind == "cnn")
+NLP_MODELS = tuple(m for m in DEFAULT_MODELS if get_model(m).kind != "cnn")
 
 
 def _full_model(rows, model):
@@ -11,9 +22,15 @@ def _full_model(rows, model):
     }
 
 
+def test_fig22_split_covers_whole_zoo():
+    assert CNN_MODELS + NLP_MODELS == DEFAULT_MODELS
+    assert CNN_MODELS == ("VGG-16", "ResNet-18", "Mask R-CNN")
+    assert NLP_MODELS == ("BERT-base Encoder", "RNN")
+
+
 def test_fig22_cnn_models(one_shot):
-    rows = one_shot(run_fig22, models=("VGG-16", "ResNet-18", "Mask R-CNN"))
-    for model in ("VGG-16", "ResNet-18", "Mask R-CNN"):
+    rows = one_shot(run_fig22, models=CNN_MODELS)
+    for model in CNN_MODELS:
         summary = _full_model(rows, model)
         # Paper shape: Dual Sparse Implicit > Single Sparse Implicit >
         # Dense Implicit (baseline), and explicit variants trail implicit.
@@ -23,8 +40,8 @@ def test_fig22_cnn_models(one_shot):
 
 
 def test_fig22_nlp_models(one_shot):
-    rows = one_shot(run_fig22, models=("BERT-base Encoder", "RNN"))
-    for model in ("BERT-base Encoder", "RNN"):
+    rows = one_shot(run_fig22, models=NLP_MODELS)
+    for model in NLP_MODELS:
         summary = _full_model(rows, model)
         assert summary["Dual Sparse GEMM"] > summary["Single Sparse GEMM"] > 1.0
     # The RNN's >90% weight sparsity pushes well past the Sparse Tensor

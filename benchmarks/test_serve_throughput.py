@@ -13,6 +13,11 @@ single-image run) outside the timed region — that is the point of the
 session API: encoding is paid once per deployment, not per request.
 Operand memoization is disabled so the timed batch regenerates its
 activations exactly like the baseline loop does.
+
+A second, ungated pass serves the *whole* model zoo
+(:data:`repro.nn.models.DEFAULT_MODELS`) and appends one images/sec
+trajectory row per model, each batch asserted bit-identical to its
+per-image oracle.
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.nn.functional import run_model_functional
+from repro.nn.models import DEFAULT_MODELS
 from repro.nn.session import compile_model
 
 MODEL = "ResNet-18"
@@ -32,6 +38,13 @@ BATCH = 8
 SEED = 2021
 MIN_SPEEDUP = 3.0
 TRAJECTORY_PATH = Path(__file__).parent / "results" / "serve_throughput.json"
+
+#: Whole-zoo pass: batch served per model and per-model data scales.
+#: Everything runs full-resolution except Mask R-CNN, whose 1333x800
+#: layers cost ~20 s/image — 0.25 keeps the zoo pass in the seconds
+#: range while still serving its paper-shaped weight matrices.
+ZOO_BATCH = 2
+ZOO_SCALES = {"Mask R-CNN": 0.25}
 
 
 def _append_trajectory(row: dict) -> None:
@@ -101,3 +114,53 @@ def test_bench_serve_throughput(benchmark):
         f"run_model_functional loop at batch {BATCH} "
         f"(required: {MIN_SPEEDUP:.0f}x)"
     )
+
+
+def test_bench_zoo_throughput(one_shot):
+    """Serve the whole model zoo and record images/sec per model.
+
+    Unlike the gated ResNet-18 benchmark above, this pass has no hard
+    speedup threshold — its job is coverage (every zoo model compiles
+    and serves through the encoded-operand session, bit-identical to the
+    per-image oracle) and the per-model throughput trajectory rows.
+    """
+    rows = []
+
+    def serve_zoo():
+        for model in DEFAULT_MODELS:
+            scale = ZOO_SCALES.get(model, 1.0)
+            compile_start = time.perf_counter()
+            compiled = compile_model(model, scale=scale, seed=SEED, memo=False)
+            compile_seconds = time.perf_counter() - compile_start
+            compiled.run(1)  # warm the lazy per-layer engine caches
+            started = time.perf_counter()
+            run = compiled.run(ZOO_BATCH)
+            session_seconds = time.perf_counter() - started
+
+            oracle = run_model_functional(
+                model, scale=scale, seed=SEED, image=1, keep_outputs=True
+            )
+            for exp, got in zip(oracle.layers, run.per_image[1].layers):
+                assert exp.stats == got.stats, f"{model}/{exp.layer}"
+                assert np.array_equal(exp.output, got.output), (
+                    f"{model}/{exp.layer}"
+                )
+            rows.append(
+                {
+                    "timestamp": datetime.now(timezone.utc).isoformat(
+                        timespec="seconds"
+                    ),
+                    "workload": f"zoo {model} scale={scale} batch={ZOO_BATCH}",
+                    "compile_seconds": round(compile_seconds, 4),
+                    "session_seconds": round(session_seconds, 4),
+                    "session_images_per_sec": round(
+                        ZOO_BATCH / session_seconds, 3
+                    ),
+                }
+            )
+
+    one_shot(serve_zoo)
+    assert len(rows) == len(DEFAULT_MODELS)
+    for row in rows:
+        assert row["session_images_per_sec"] > 0
+        _append_trajectory(row)

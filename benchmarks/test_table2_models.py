@@ -1,10 +1,12 @@
 """Benchmark: regenerate Table II (evaluated models and pruning setup)."""
 
 from repro.experiments.table2_models import run_table2
+from repro.nn.models import DEFAULT_MODELS
 
 
 def test_table2_models(benchmark):
     rows = benchmark(run_table2)
-    assert len(rows) == 5
+    # Table II lists exactly the zoo, in registry order.
+    assert tuple(row["model"] for row in rows) == DEFAULT_MODELS
     nlp = [row for row in rows if row["model"] in ("BERT-base Encoder", "RNN")]
     assert all(row["mean_weight_sparsity"] > 0.85 for row in nlp)

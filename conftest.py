@@ -10,6 +10,15 @@ def pytest_addoption(parser):
         "--update-golden",
         action="store_true",
         default=False,
-        help="regenerate tests/experiments/golden/*.json snapshots "
-        "instead of asserting against them",
+        help="regenerate golden snapshots (tests/experiments/golden/*.json "
+        "and tests/conformance/golden/*.json) instead of asserting "
+        "against them",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "conformance: model-zoo conformance cells (model x pruning x "
+        "backend parity grid; select with `-m conformance`)",
     )

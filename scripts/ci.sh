@@ -4,7 +4,9 @@
 # any paper-table drift), the im2col + blocked-engine parity suites,
 # the encoded-operand + session parity suites (pre-encoded operands and
 # batch-folded sessions must be bit-identical to the dense/per-image
-# paths), the conv-pipeline, blocked-engine and serving-throughput
+# paths), the model-zoo conformance grid (every model x pruning method
+# served through compiled sessions, pinned to golden rows),
+# the conv-pipeline, blocked-engine and serving-throughput
 # benchmarks (keep the speedup trajectory JSONs populated and gate the
 # 2048^3 >= 5x blocked advantage plus the >= 3x batch-8 serving
 # advantage) and a parallel + cached runner smoke pass that must print
@@ -32,6 +34,9 @@ python -m pytest -q tests/core/test_engine_blocked.py tests/formats/test_vectori
 
 echo "== encoded-operand + session parity suites (encoded vs dense, batch vs per-image) =="
 python -m pytest -q tests/core/test_encoded_operands.py tests/nn/test_session.py
+
+echo "== model-zoo conformance grid (every model x pruning method x backend vs golden rows) =="
+python -m pytest -q -m conformance tests/conformance
 
 echo "== spconv speedup benchmark (quick: full-res Table III layer) =="
 python -m pytest -q benchmarks/test_spconv_speedup.py

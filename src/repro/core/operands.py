@@ -294,6 +294,20 @@ class EncodedOperand:
         return self.k_nnz > 0
 
     @property
+    def nnz(self) -> int:
+        """Total non-zero count (from the cached per-k counts)."""
+        return int(self.k_nnz.sum())
+
+    @property
+    def sparsity(self) -> float:
+        """Zero fraction of the operand — bit-identical to
+        :func:`repro.sparsity.statistics.sparsity` on the dense array,
+        but served from the cached per-k counts."""
+        rows, cols = self.shape
+        size = rows * cols
+        return 1.0 - float(self.nnz) / size if size else 0.0
+
+    @property
     def all_finite(self) -> bool:
         """Whether every element is finite (non-finite operands force the
         bit-exact condensed numeric path).  Checked on the original

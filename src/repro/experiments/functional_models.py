@@ -1,10 +1,13 @@
 """Functional whole-model sweeps through the vectorized SpGEMM engine.
 
 Complements the analytic Figure 22 driver: instead of cost-model
-estimates, every representative layer of the selected models is actually
-*executed* by the functional dual-side pipeline (sparse im2col +
-outer-product SpGEMM) at full resolution (``scale=1.0``), and the exact
-per-layer instruction statistics are reported.  Such runs were
+estimates, every representative layer of the selected models — by
+default the *whole* Figure 22 / Table II zoo, CNNs and GEMM models
+alike — is actually *executed* by the functional dual-side pipeline
+(sparse im2col + outer-product SpGEMM) at full resolution
+(``scale=1.0``), and the exact per-layer instruction statistics are
+reported.  The ``pruning`` knob swaps every model's native pruning
+pattern for any named method of the pruning suite.  Such runs were
 impractical with the seed's per-warp-tile Python loop; the vectorized
 engine (:mod:`repro.core.engine`) brought them into the seconds range
 at ``scale=0.125``, and the K-panel blocked engine
@@ -17,11 +20,7 @@ from __future__ import annotations
 from repro.core.spgemm_warp import WarpTileConfig
 from repro.hw.config import GpuConfig, V100_CONFIG
 from repro.nn.functional import run_model_functional
-from repro.nn.models import MODEL_REGISTRY
-
-#: Models executed by the default functional sweep; all run at full
-#: resolution (``scale=1.0``) in seconds on the blocked engine.
-DEFAULT_MODELS = ("ResNet-18", "VGG-16", "BERT-base Encoder")
+from repro.nn.models import DEFAULT_MODELS
 
 
 def run_functional_models(
@@ -31,12 +30,13 @@ def run_functional_models(
     config: GpuConfig | None = None,
     tile_config: WarpTileConfig | None = None,
     backend: str = "auto",
+    pruning: "str | None" = None,
 ) -> list[dict]:
     """Execute whole models functionally and tabulate exact statistics.
 
     Args:
-        models: model names to run (defaults to :data:`DEFAULT_MODELS`;
-            any key of :data:`repro.nn.models.MODEL_REGISTRY` works).
+        models: model names to run (defaults to the whole zoo,
+            :data:`repro.nn.models.DEFAULT_MODELS`).
         scale: data-dimension shrink factor forwarded to
             :func:`repro.nn.functional.run_model_functional`.
         seed: RNG seed for the synthetic pruned operands.
@@ -45,6 +45,10 @@ def run_functional_models(
         tile_config: warp-tile geometry override.
         backend: SpGEMM backend (``"auto"``, ``"blocked"``,
             ``"vectorized"`` or ``"reference"``).
+        pruning: named pruning method from
+            :data:`repro.pruning.methods.PRUNING_METHODS` applied to
+            every model's weights instead of its native pattern
+            (``None`` — reported as ``native`` in the rows).
 
     Returns:
         One row per (model, layer) plus a ``full-model`` row per model,
@@ -56,12 +60,14 @@ def run_functional_models(
     rows: list[dict] = []
     for name in names:
         run = run_model_functional(
-            name, scale=scale, seed=seed, config=tile_config, backend=backend
+            name, scale=scale, seed=seed, config=tile_config, backend=backend,
+            pruning=pruning,
         )
         for layer in run.layers:
             rows.append(
                 {
                     "model": name,
+                    "pruning": pruning or "native",
                     "layer": layer.layer,
                     "gemm_mkn": "x".join(str(d) for d in layer.gemm_shape),
                     "weight_sparsity": round(layer.weight_sparsity, 4),
@@ -82,6 +88,7 @@ def run_functional_models(
         rows.append(
             {
                 "model": name,
+                "pruning": pruning or "native",
                 "layer": "full-model",
                 "gemm_mkn": "-",
                 "weight_sparsity": "-",

@@ -164,7 +164,7 @@ _SPECS = (
         description="Full-scale functional whole-model runs (blocked engine)",
         defaults={"scale": 1.0},
         quick={"scale": 0.0625},
-        sweepable=frozenset({"models", "scale", "backend"}),
+        sweepable=frozenset({"models", "scale", "backend", "pruning"}),
     ),
     ExperimentSpec(
         name="serve",
@@ -173,7 +173,9 @@ _SPECS = (
         description="Compiled-session serving throughput across batch sizes",
         defaults={"scale": 1.0},
         quick={"scale": 0.0625, "batch_sizes": [1, 3]},
-        sweepable=frozenset({"models", "batch_sizes", "scale", "backend"}),
+        sweepable=frozenset(
+            {"models", "batch_sizes", "scale", "backend", "pruning"}
+        ),
     ),
     ExperimentSpec(
         name="spconv",

@@ -19,11 +19,8 @@ from __future__ import annotations
 
 from repro.core.spgemm_warp import WarpTileConfig
 from repro.hw.config import GpuConfig, V100_CONFIG
+from repro.nn.models import DEFAULT_MODELS
 from repro.nn.session import SessionRun, compile_model
-
-#: Models served by the default sweep — one CNN (conv pipeline, M-folded
-#: batches) and one GEMM model (transposed pipeline, N-folded batches).
-DEFAULT_MODELS = ("ResNet-18", "BERT-base Encoder")
 
 #: Batch sizes of the default sweep.
 DEFAULT_BATCH_SIZES = (1, 2, 4, 8)
@@ -37,12 +34,13 @@ def run_serve(
     config: GpuConfig | None = None,
     tile_config: WarpTileConfig | None = None,
     backend: str = "auto",
+    pruning: "str | None" = None,
 ) -> list[dict]:
     """Serve batches through compiled sessions and tabulate throughput.
 
     Args:
-        models: model names to compile (defaults to
-            :data:`DEFAULT_MODELS`).
+        models: model names to compile (defaults to the whole zoo,
+            :data:`repro.nn.models.DEFAULT_MODELS`).
         batch_sizes: batch sizes to serve per model (defaults to
             :data:`DEFAULT_BATCH_SIZES`).
         scale: data-dimension shrink factor forwarded to the session.
@@ -51,6 +49,10 @@ def run_serve(
             issue-limited device time and modelled images/sec.
         tile_config: warp-tile geometry override.
         backend: SpGEMM backend, resolved per per-image GEMM shape.
+        pruning: named pruning method from
+            :data:`repro.pruning.methods.PRUNING_METHODS` applied to
+            every model's weights instead of its native pattern
+            (``None`` — reported as ``native`` in the rows).
 
     Returns:
         One row per (model, batch size) with the fused batch statistics,
@@ -68,6 +70,7 @@ def run_serve(
             seed=seed,
             tile_config=tile_config,
             backend=backend,
+            pruning=pruning,
         )
         weight_dense = compiled.weight_bytes_dense()
         weight_encoded = compiled.weight_bytes_encoded()
@@ -87,6 +90,7 @@ def run_serve(
             rows.append(
                 {
                     "model": name,
+                    "pruning": pruning or "native",
                     "batch": batch,
                     "layers": len(compiled.layers),
                     "ohmma_issued": run.ohmma_issued,

@@ -116,10 +116,11 @@ def _run_conv_layer(
     config: WarpTileConfig | None,
     backend: str,
     keep_output: bool,
+    pruning: "str | None" = None,
 ) -> FunctionalLayerRun:
     """Materialise one convolution layer and run the sparse pipeline."""
     feature_map = conv_feature_map(model_name, spec, seed, image=image, scale=scale)
-    weights = conv_layer_weights(model_name, spec, seed)
+    weights = conv_layer_weights(model_name, spec, seed, pruning=pruning)
     result = sparse_conv2d(
         feature_map,
         weights,
@@ -150,6 +151,7 @@ def _run_gemm_layer(
     backend: str,
     weight_pattern: str,
     keep_output: bool,
+    pruning: "str | None" = None,
 ) -> FunctionalLayerRun:
     """Materialise one GEMM layer and run the transposed-layer SpGEMM.
 
@@ -159,7 +161,9 @@ def _run_gemm_layer(
     as views — the engines never mutate their operands, so no
     double materialisation is needed.
     """
-    weights = gemm_layer_weights(model_name, spec, seed, weight_pattern)
+    weights = gemm_layer_weights(
+        model_name, spec, seed, weight_pattern, pruning=pruning
+    )
     activations = gemm_activations(model_name, spec, seed, image=image, scale=scale)
     result = device_spgemm(
         weights.T, activations.T, config=config, backend=backend
@@ -183,6 +187,7 @@ def run_model_functional(
     backend: str = "auto",
     image: int = 0,
     keep_outputs: bool = False,
+    pruning: "str | None" = None,
 ) -> FunctionalModelRun:
     """Execute every representative layer of a model functionally.
 
@@ -203,6 +208,10 @@ def run_model_functional(
             :mod:`repro.nn.session`.
         keep_outputs: retain every layer's numeric output on the run
             records (off by default — whole-model outputs are large).
+        pruning: named pruning method from
+            :data:`repro.pruning.methods.PRUNING_METHODS` applied to the
+            synthetic weights instead of the model's native pattern
+            (``None`` keeps the native unstructured / blocked draws).
 
     Returns:
         Per-layer and aggregate instruction statistics of the whole
@@ -218,7 +227,7 @@ def run_model_functional(
             layers.append(
                 _run_conv_layer(
                     spec, model.name, seed, image, scale, config, backend,
-                    keep_outputs,
+                    keep_outputs, pruning,
                 )
             )
     else:
@@ -226,7 +235,7 @@ def run_model_functional(
             layers.append(
                 _run_gemm_layer(
                     spec, model.name, seed, image, scale, config, backend,
-                    model.weight_pattern, keep_outputs,
+                    model.weight_pattern, keep_outputs, pruning,
                 )
             )
     return FunctionalModelRun(model=model.name, layers=tuple(layers))

@@ -78,6 +78,13 @@ MODEL_REGISTRY = {
     "RNN": rnn_language_model,
 }
 
+#: The whole zoo in Figure 22 / Table II order — the single source of
+#: truth for every driver that defaults to "all evaluated models"
+#: (the ``functional`` and ``serve`` experiments, the conformance suite,
+#: the zoo throughput benchmark).  Keep in sync with
+#: :data:`MODEL_REGISTRY` (asserted in ``tests/nn/test_nn.py``).
+DEFAULT_MODELS: tuple[str, ...] = tuple(MODEL_REGISTRY)
+
 
 def get_model(name: str) -> ModelDefinition:
     """Build the named model definition.
@@ -95,6 +102,7 @@ def get_model(name: str) -> ModelDefinition:
 __all__ = [
     "ModelDefinition",
     "MODEL_REGISTRY",
+    "DEFAULT_MODELS",
     "get_model",
     "vgg16_model",
     "resnet18_model",

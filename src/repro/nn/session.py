@@ -173,6 +173,7 @@ class CompiledModel:
     element_bytes: int
     memo: bool
     layers: tuple[CompiledLayer, ...]
+    pruning: "str | None" = None
 
     @property
     def name(self) -> str:
@@ -403,6 +404,7 @@ def compile_model(
     backend: str = "auto",
     element_bytes: int = 2,
     memo: bool = True,
+    pruning: "str | None" = None,
 ) -> CompiledModel:
     """Compile a model into a serving session.
 
@@ -422,6 +424,12 @@ def compile_model(
         memo: reuse memoized synthetic operands across compiles and runs
             (see :mod:`repro.nn.synthetic`); disable for timing studies
             that must regenerate inputs every run.
+        pruning: named pruning method from
+            :data:`repro.pruning.methods.PRUNING_METHODS` applied to the
+            synthetic weights instead of the model's native pattern.
+            The pruned weights are encoded once like any other static
+            weights, and the per-image oracle is
+            ``run_model_functional(..., pruning=pruning)``.
     """
     if isinstance(model, str):
         model = get_model(model)
@@ -435,7 +443,9 @@ def compile_model(
     layers: list[CompiledLayer] = []
     if model.kind == "cnn":
         for spec in model.conv_layers:
-            weights = conv_layer_weights(model.name, spec, seed, memo=memo)
+            weights = conv_layer_weights(
+                model.name, spec, seed, memo=memo, pruning=pruning
+            )
             compiled = CompiledConvWeights.from_dense(weights)
             height, width = scaled_conv_hw(spec, scale)
             out_h, out_w = conv_output_shape(
@@ -456,16 +466,18 @@ def compile_model(
     else:
         for spec in model.gemm_layers:
             weights = gemm_layer_weights(
-                model.name, spec, seed, model.weight_pattern, memo=memo
+                model.name, spec, seed, model.weight_pattern, memo=memo,
+                pruning=pruning,
+            )
+            operand = EncodedOperand.for_a(weights.T).warm(
+                tile_config, element_bytes
             )
             layers.append(
                 CompiledLayer(
                     spec=spec,
                     kind="gemm",
-                    weight_operand=EncodedOperand.for_a(weights.T).warm(
-                        tile_config, element_bytes
-                    ),
-                    weight_sparsity=sparsity_of(weights),
+                    weight_operand=operand,
+                    weight_sparsity=operand.sparsity,
                     m_rows=scaled_gemm_rows(spec, scale),
                 )
             )
@@ -478,4 +490,5 @@ def compile_model(
         element_bytes=element_bytes,
         memo=memo,
         layers=tuple(layers),
+        pruning=pruning,
     )

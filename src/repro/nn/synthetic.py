@@ -7,9 +7,9 @@ them.  Two properties matter for the serving runtime:
 * **Independent streams.**  Every operand draws from its own
   :class:`numpy.random.Generator` seeded by ``(seed, model, layer,
   kind[, image])``, so a layer's weights are a pure function of
-  ``(model, layer, seed)`` and an image's activations of ``(model,
-  layer, seed, image, scale)`` — regardless of which other layers or
-  images are materialised, or in which order.  This is what lets a
+  ``(model, layer, seed[, pruning])`` and an image's activations of
+  ``(model, layer, seed, image, scale)`` — regardless of which other
+  layers or images are materialised, or in which order.  This is what lets a
   compiled session (:mod:`repro.nn.session`) encode weights once and
   still produce activations bit-identical to a fresh
   :func:`repro.nn.functional.run_model_functional` call.
@@ -32,6 +32,7 @@ from dataclasses import asdict
 import numpy as np
 
 from repro.kernels.layer_spec import ConvLayerSpec, GemmLayerSpec
+from repro.pruning.methods import get_pruning_method
 from repro.pruning.movement import block_movement_prune
 from repro.sparsity.generators import random_sparse_matrix
 
@@ -126,23 +127,45 @@ def scaled_gemm_rows(spec: GemmLayerSpec, scale: float) -> int:
 
 
 def conv_layer_weights(
-    model: str, spec: ConvLayerSpec, seed: int, memo: bool = False
+    model: str,
+    spec: ConvLayerSpec,
+    seed: int,
+    memo: bool = False,
+    pruning: "str | None" = None,
 ) -> np.ndarray:
-    """Pruned (N, C, K, K) weights of one convolution layer."""
+    """Pruned (N, C, K, K) weights of one convolution layer.
+
+    ``pruning=None`` (the default) draws an unstructured random support
+    at the spec's weight sparsity — the zoo's native CNN pattern.  A
+    method name from :data:`repro.pruning.methods.PRUNING_METHODS`
+    instead draws *dense* weights from the same layer stream and prunes
+    them with that method along the flattened ``K*K*C`` reduction axis,
+    so structured patterns (2:4 groups, vectors, zero blocks) survive
+    the lowering into the GEMM operand.
+    """
 
     def generate() -> np.ndarray:
         rng = layer_stream(seed, model, spec.name, "weights")
-        return random_sparse_matrix(
-            (spec.out_channels, spec.in_channels * spec.kernel * spec.kernel),
-            1.0 - spec.weight_sparsity,
-            rng,
-        ).reshape(spec.out_channels, spec.in_channels, spec.kernel, spec.kernel)
+        flat_k = spec.in_channels * spec.kernel * spec.kernel
+        if pruning is None:
+            flat = random_sparse_matrix(
+                (spec.out_channels, flat_k), 1.0 - spec.weight_sparsity, rng
+            )
+        else:
+            dense = rng.uniform(0.5, 1.5, size=(spec.out_channels, flat_k))
+            flat = get_pruning_method(pruning).apply(
+                dense, spec.weight_sparsity, axis=1
+            )
+        return flat.reshape(
+            spec.out_channels, spec.in_channels, spec.kernel, spec.kernel
+        )
 
     if not memo:
         return generate()
-    return _memoized(
-        "conv-weights", {"model": model, "spec": asdict(spec), "seed": seed}, generate
-    )
+    params = {"model": model, "spec": asdict(spec), "seed": seed}
+    if pruning is not None:
+        params["pruning"] = pruning
+    return _memoized("conv-weights", params, generate)
 
 
 def conv_feature_map(
@@ -183,17 +206,26 @@ def gemm_layer_weights(
     seed: int,
     weight_pattern: str = "uniform",
     memo: bool = False,
+    pruning: "str | None" = None,
 ) -> np.ndarray:
     """Pruned (K, N) weights of one GEMM layer.
 
-    ``weight_pattern="blocked"`` applies block movement pruning (whole
-    zero blocks, as for BERT); any other value prunes with a uniform
-    random mask at the spec's weight sparsity.
+    With ``pruning=None`` (the default) the zoo's native pattern
+    applies: ``weight_pattern="blocked"`` uses block movement pruning
+    (whole zero blocks, as for BERT); any other value prunes with a
+    uniform random mask at the spec's weight sparsity.  A method name
+    from :data:`repro.pruning.methods.PRUNING_METHODS` overrides the
+    native pattern: the same dense draw is pruned by that method along
+    the reduction axis (K, axis 0).
     """
 
     def generate() -> np.ndarray:
         rng = layer_stream(seed, model, spec.name, "weights")
         weights = rng.uniform(0.5, 1.5, size=(spec.k, spec.n))
+        if pruning is not None:
+            return get_pruning_method(pruning).apply(
+                weights, spec.weight_sparsity, axis=0
+            )
         if weight_pattern == "blocked":
             return block_movement_prune(weights, spec.weight_sparsity, block=32)
         mask = rng.random(weights.shape) >= spec.weight_sparsity
@@ -201,16 +233,15 @@ def gemm_layer_weights(
 
     if not memo:
         return generate()
-    return _memoized(
-        "gemm-weights",
-        {
-            "model": model,
-            "spec": asdict(spec),
-            "seed": seed,
-            "pattern": weight_pattern,
-        },
-        generate,
-    )
+    params = {
+        "model": model,
+        "spec": asdict(spec),
+        "seed": seed,
+        "pattern": weight_pattern,
+    }
+    if pruning is not None:
+        params["pruning"] = pruning
+    return _memoized("gemm-weights", params, generate)
 
 
 def gemm_activations(

@@ -8,6 +8,9 @@
 * :mod:`repro.pruning.vector_wise` — the vector-wise pruning required by
   the Sparse Tensor Core baseline [72].
 * :mod:`repro.pruning.structured_24` — A100-style 2:4 structured pruning.
+* :mod:`repro.pruning.methods` — the named registry that threads every
+  scheme through the model zoo (synthetic operands, functional oracle,
+  compiled sessions) under a uniform ``pruning=`` string.
 
 None of these change any accuracy number reported in the paper — the
 reproduction only needs the *sparsity patterns* they induce.
@@ -18,6 +21,12 @@ from repro.pruning.agp import agp_target_sparsity, agp_prune
 from repro.pruning.structured_24 import prune_2_4
 from repro.pruning.vector_wise import vector_wise_prune
 from repro.pruning.movement import block_movement_prune
+from repro.pruning.methods import (
+    PRUNING_METHODS,
+    PruningMethod,
+    get_pruning_method,
+    prune_weights,
+)
 
 __all__ = [
     "magnitude_mask",
@@ -28,4 +37,8 @@ __all__ = [
     "prune_2_4",
     "vector_wise_prune",
     "block_movement_prune",
+    "PRUNING_METHODS",
+    "PruningMethod",
+    "get_pruning_method",
+    "prune_weights",
 ]

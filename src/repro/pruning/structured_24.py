@@ -12,24 +12,36 @@ import numpy as np
 from repro.errors import ShapeError
 
 
-def prune_2_4(weights: np.ndarray, axis: int = -1) -> np.ndarray:
+def prune_2_4(weights: np.ndarray, axis: int = -1, pad: bool = False) -> np.ndarray:
     """Apply 2-out-of-4 pruning along ``axis``.
 
     Args:
         weights: weight matrix; the size along ``axis`` must be a
-            multiple of 4.
+            multiple of 4 unless ``pad`` is set.
         axis: reduction axis along which groups of four are formed.
+        pad: zero-pad the reduction dimension up to the next multiple of
+            four before grouping (the padding is stripped afterwards).
+            Ragged final groups then keep *all* their elements when they
+            hold two or fewer non-zeros — the padded zeros absorb the
+            pruning budget — which is how a 2:4 kernel treats a
+            reduction dimension (e.g. a CNN's K*K*C) that the model did
+            not size for Ampere.
 
     Returns:
-        The pruned weights (same shape, 50% zeros in every 4-group).
+        The pruned weights (same shape, 50% zeros in every full 4-group).
     """
     weights = np.asarray(weights, dtype=np.float64)
     moved = np.moveaxis(weights, axis, -1)
-    if moved.shape[-1] % 4 != 0:
-        raise ShapeError(
-            f"dimension along axis {axis} must be a multiple of 4, "
-            f"got {moved.shape[-1]}"
-        )
+    remainder = moved.shape[-1] % 4
+    trailing = moved.shape[-1]
+    if remainder:
+        if not pad:
+            raise ShapeError(
+                f"dimension along axis {axis} must be a multiple of 4, "
+                f"got {moved.shape[-1]}"
+            )
+        pad_width = [(0, 0)] * (moved.ndim - 1) + [(0, 4 - remainder)]
+        moved = np.pad(moved, pad_width)
     grouped = moved.reshape(*moved.shape[:-1], moved.shape[-1] // 4, 4)
     magnitude = np.abs(grouped)
     # Rank within each group of four; keep the top two.
@@ -38,4 +50,7 @@ def prune_2_4(weights: np.ndarray, axis: int = -1) -> np.ndarray:
     top_two = order[..., 2:]
     np.put_along_axis(keep, top_two, True, axis=-1)
     pruned = np.where(keep, grouped, 0.0)
-    return np.moveaxis(pruned.reshape(moved.shape), -1, axis)
+    flat = pruned.reshape(moved.shape)
+    if remainder:
+        flat = flat[..., :trailing]
+    return np.moveaxis(flat, -1, axis)

@@ -15,19 +15,29 @@ from repro.utils.validation import check_probability
 
 
 def vector_wise_prune(
-    weights: np.ndarray, sparsity: float, vector_length: int = 32
+    weights: np.ndarray,
+    sparsity: float,
+    vector_length: int = 32,
+    axis: int = -1,
+    pad: bool = False,
 ) -> np.ndarray:
     """Prune each length-``vector_length`` vector to the target sparsity.
 
     Args:
-        weights: 2-D weight matrix; the last dimension must be a multiple
-            of ``vector_length``.
+        weights: 2-D weight matrix; the dimension along ``axis`` must be
+            a multiple of ``vector_length`` unless ``pad`` is set.
         sparsity: fraction of weights removed inside every vector.
         vector_length: pruning vector length (32 in [72]).
+        axis: axis along which the vectors are formed (the reduction
+            dimension in [72]).
+        pad: zero-pad the vector axis up to the next multiple of
+            ``vector_length`` before grouping (padding stripped
+            afterwards).  Padded zeros absorb keep slots, so a ragged
+            final vector keeps at most its real non-zeros.
 
     Returns:
         Pruned weights with exactly ``round(vector_length * sparsity)``
-        zeros per vector.
+        zeros per full vector.
     """
     check_probability(sparsity, "sparsity")
     if vector_length <= 0:
@@ -35,12 +45,18 @@ def vector_wise_prune(
     weights = np.asarray(weights, dtype=np.float64)
     if weights.ndim != 2:
         raise ShapeError(f"weights must be 2-D, got {weights.shape}")
-    if weights.shape[1] % vector_length != 0:
-        raise ShapeError(
-            f"columns ({weights.shape[1]}) must be a multiple of {vector_length}"
-        )
+    moved = np.moveaxis(weights, axis, -1)
+    trailing = moved.shape[-1]
+    remainder = trailing % vector_length
+    if remainder:
+        if not pad:
+            raise ShapeError(
+                f"dimension along axis {axis} ({trailing}) must be a "
+                f"multiple of {vector_length}"
+            )
+        moved = np.pad(moved, ((0, 0), (0, vector_length - remainder)))
     keep_per_vector = vector_length - int(round(vector_length * sparsity))
-    grouped = weights.reshape(weights.shape[0], -1, vector_length)
+    grouped = moved.reshape(moved.shape[0], -1, vector_length)
     magnitude = np.abs(grouped)
     order = np.argsort(magnitude, axis=-1)
     keep = np.zeros_like(grouped, dtype=bool)
@@ -48,4 +64,7 @@ def vector_wise_prune(
         top = order[..., -keep_per_vector:]
         np.put_along_axis(keep, top, True, axis=-1)
     pruned = np.where(keep, grouped, 0.0)
-    return pruned.reshape(weights.shape)
+    flat = pruned.reshape(moved.shape)
+    if remainder:
+        flat = flat[..., :trailing]
+    return np.moveaxis(flat, -1, axis)

@@ -1,0 +1,84 @@
+"""Dense conformance cross: model × method × sparsity level × backend.
+
+The zoo grid (``test_zoo_matrix.py``) runs the real models but — for
+cost — only on the auto-resolved backend and at each model's native
+sparsity setup.  This cross fills in the remaining axes on two tiny
+models (one conv, one transposed-GEMM serving path): every pruning
+method at multiple sparsity levels through *every* SpGEMM backend, each
+cell asserting the compiled session bit-identical to the per-image
+functional oracle.
+
+The tiny shapes are deliberately ragged (reduction axes of 27 and 18),
+so every structured cell exercises the 2:4 / vector padding, and the
+32-wide movement blocks degenerate to whole-matrix pruning — serving an
+*all-zero* weight matrix is itself a conformance edge the real zoo
+never hits.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nn.functional import run_model_functional
+from repro.nn.session import compile_model
+from repro.pruning import PRUNING_METHODS
+
+from zoo_harness import PRUNINGS, assert_runs_equal, pruning_label, tiny_cnn, tiny_gemm
+
+pytestmark = pytest.mark.conformance
+
+BACKENDS = ("reference", "vectorized", "blocked")
+SPARSITIES = (0.5, 0.9)
+SEED = 11
+
+
+def cross_cells():
+    cells = []
+    for builder in (tiny_cnn, tiny_gemm):
+        for pruning in PRUNINGS:
+            fixed = (
+                PRUNING_METHODS[pruning].fixed_sparsity
+                if pruning is not None
+                else None
+            )
+            # Methods with a fixed sparsity (2:4) ignore the level — one
+            # cell per backend instead of a duplicate pair.
+            levels = SPARSITIES if fixed is None else (fixed,)
+            for sparsity in levels:
+                for backend in BACKENDS:
+                    cells.append((builder, pruning, sparsity, backend))
+    return cells
+
+
+def cross_id(builder, pruning, sparsity, backend):
+    return f"{builder.__name__}|{pruning_label(pruning)}|s{sparsity}|{backend}"
+
+
+@pytest.mark.parametrize(
+    "builder,pruning,sparsity,backend",
+    cross_cells(),
+    ids=[cross_id(*cell) for cell in cross_cells()],
+)
+def test_cross_cell(builder, pruning, sparsity, backend):
+    model = builder(weight_sparsity=sparsity)
+    compiled = compile_model(
+        model, scale=1.0, seed=SEED, backend=backend, pruning=pruning,
+        memo=False,
+    )
+    run = compiled.run([0, 2])
+    assert run.images == (0, 2)
+    for position, image in enumerate((0, 2)):
+        oracle = run_model_functional(
+            model, seed=SEED, backend=backend, image=image,
+            keep_outputs=True, pruning=pruning,
+        )
+        assert_runs_equal(oracle, run.per_image[position])
+
+
+@pytest.mark.parametrize("builder", [tiny_cnn, tiny_gemm], ids=lambda b: b.__name__)
+def test_fixed_sparsity_method_ignores_level(builder):
+    """2:4 cells prune to their fixed pattern whatever the spec asks for."""
+    low = compile_model(builder(0.5), seed=SEED, pruning="2:4", memo=False)
+    high = compile_model(builder(0.9), seed=SEED, pruning="2:4", memo=False)
+    for one, two in zip(low.layers, high.layers):
+        assert one.weight_operand.nnz == two.weight_operand.nnz

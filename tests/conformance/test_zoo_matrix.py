@@ -1,0 +1,128 @@
+"""Whole-zoo conformance grid: every model × every pruning method.
+
+Each cell compiles one zoo model with one pruning axis value
+(:data:`zoo_harness.PRUNINGS`), serves a two-image batch through the
+encoded-operand session and asserts the batch bit-identical to the
+per-image functional oracle — outputs and every ``DeviceStats`` field.
+Weight shapes are unscaled, so every cell prunes and encodes the
+paper-sized weights; only the served activations shrink
+(:data:`zoo_harness.CELL_SCALES`).
+
+On top of the in-run parity each cell pins a golden row of
+machine-portable *integer* statistics (layer count, encoded-weight
+non-zeros, fused OHMMA counts) to ``golden/zoo_matrix.json`` — drift in
+any pruning mask, synthetic stream or fused count fails here.  The rows
+deliberately exclude float output digests: numeric outputs go through
+BLAS, whose summation order is not portable across machines, so outputs
+are asserted *relatively* (session vs oracle) each run instead.
+
+Regenerating after an intentional change (new cells are added as new
+rows; untouched rows survive)::
+
+    PYTHONPATH=src python -m pytest tests/conformance -m conformance --update-golden
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.nn.functional import run_model_functional
+from repro.nn.models import DEFAULT_MODELS, MODEL_REGISTRY
+from repro.nn.session import compile_model
+from repro.pruning import PRUNING_METHODS
+
+from zoo_harness import (
+    CELL_SCALES,
+    PRUNINGS,
+    SEED,
+    assert_runs_equal,
+    pruning_label,
+)
+
+pytestmark = pytest.mark.conformance
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "zoo_matrix.json"
+
+CELLS = [(model, pruning) for model in DEFAULT_MODELS for pruning in PRUNINGS]
+
+
+def cell_id(model: str, pruning: "str | None") -> str:
+    return f"{model}|{pruning_label(pruning)}"
+
+
+def load_golden() -> dict:
+    if not GOLDEN_PATH.exists():
+        return {}
+    return json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+
+def test_grid_covers_whole_zoo_and_every_method():
+    """The grid axes must track the registries, not a hand-kept list."""
+    assert tuple(CELL_SCALES) == tuple(MODEL_REGISTRY) == DEFAULT_MODELS
+    assert {name for name in PRUNINGS if name} == set(PRUNING_METHODS)
+    assert None in PRUNINGS  # the native pattern stays covered
+
+
+@pytest.mark.parametrize(
+    "model,pruning", CELLS, ids=[cell_id(m, p) for m, p in CELLS]
+)
+def test_zoo_cell(model, pruning, request):
+    scale = CELL_SCALES[model]
+    compiled = compile_model(model, scale=scale, seed=SEED, pruning=pruning)
+    assert compiled.pruning == pruning
+    run = compiled.run(2)
+
+    # Bit-identity against the per-image oracle: image 1 on every cell,
+    # image 0 additionally on the native cells (covering position 0 of
+    # the fold without doubling the grid's oracle cost).
+    oracle = run_model_functional(
+        model, scale=scale, seed=SEED, image=1, keep_outputs=True,
+        pruning=pruning,
+    )
+    assert_runs_equal(oracle, run.per_image[1])
+    if pruning is None:
+        oracle_first = run_model_functional(
+            model, scale=scale, seed=SEED, image=0, keep_outputs=True,
+        )
+        assert_runs_equal(oracle_first, run.per_image[0])
+
+    layers = compiled.layers
+    row = {
+        "layers": len(layers),
+        "weight_nnz": sum(layer.weight_operand.nnz for layer in layers),
+        "mean_weight_sparsity": round(
+            sum(layer.weight_operand.sparsity for layer in layers)
+            / len(layers),
+            4,
+        ),
+        "ohmma_issued": run.ohmma_issued,
+        "ohmma_dense": run.ohmma_dense,
+    }
+    cid = cell_id(model, pruning)
+    golden = load_golden()
+    if request.config.getoption("--update-golden"):
+        golden[cid] = row
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(
+            json.dumps(golden, indent=1, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        pytest.skip(f"golden row regenerated: {cid}")
+    assert cid in golden, (
+        f"missing golden row {cid!r}; generate it with "
+        "`python -m pytest tests/conformance --update-golden`"
+    )
+    assert golden[cid] == row, (
+        f"conformance cell {cid} drifted from its golden row; if "
+        "intentional, rerun with --update-golden and commit the diff"
+    )
+
+
+def test_golden_has_no_orphan_rows():
+    """Every pinned row must correspond to a live grid cell."""
+    expected = {cell_id(m, p) for m, p in CELLS}
+    orphans = set(load_golden()) - expected
+    assert not orphans, f"stale golden rows for removed cells: {sorted(orphans)}"

@@ -1,0 +1,111 @@
+"""Shared oracle helpers of the model-zoo conformance suite.
+
+The conformance contract under test: for every model of the zoo and
+every pruning method, a compiled session (:mod:`repro.nn.session`) must
+serve results *bit-identical* to the per-image functional oracle
+(:func:`repro.nn.functional.run_model_functional`) — numeric outputs bit
+for bit and every ``DeviceStats`` field.  This module holds the pieces
+both grids share: the per-model cell scales, the pruning axis, the
+bit-exact run comparator and the tiny models used by the dense
+model × method × sparsity × backend cross.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.layer_spec import ConvLayerSpec, GemmLayerSpec
+from repro.nn.models import ModelDefinition
+
+#: Conformance seed — matches the experiment drivers' default.
+SEED = 2021
+
+#: The full pruning axis: the model's native pattern (``None``) plus
+#: every registered method of :data:`repro.pruning.methods.PRUNING_METHODS`
+#: (asserted in ``test_zoo_matrix.py``).
+PRUNINGS = (None, "magnitude", "agp", "movement", "2:4", "vector-wise")
+
+#: Per-model data scales of the zoo grid.  Weight shapes (and therefore
+#: pruning patterns) are never scaled, so every cell prunes and encodes
+#: the paper-sized weight matrices; the scales only shrink the served
+#: activations to keep the most expensive cell (RNN × 2:4 — six
+#: half-dense 2048x4096 LSTM gates) inside the suite's time budget.
+CELL_SCALES = {
+    "VGG-16": 0.03125,
+    "ResNet-18": 0.0625,
+    "Mask R-CNN": 0.04,
+    "BERT-base Encoder": 0.125,
+    "RNN": 0.015625,
+}
+
+
+def pruning_label(pruning: "str | None") -> str:
+    """Row label of one pruning axis value (``None`` → ``"native"``)."""
+    return pruning or "native"
+
+
+def assert_runs_equal(expected, actual) -> None:
+    """Bit-exact equality of two per-image functional runs."""
+    assert expected.model == actual.model
+    assert len(expected.layers) == len(actual.layers)
+    for exp, got in zip(expected.layers, actual.layers):
+        assert exp.layer == got.layer
+        assert exp.kind == got.kind
+        assert exp.gemm_shape == got.gemm_shape
+        assert exp.weight_sparsity == got.weight_sparsity
+        assert exp.activation_sparsity == got.activation_sparsity
+        assert exp.stats == got.stats
+        assert np.array_equal(exp.output, got.output)
+
+
+def tiny_cnn(weight_sparsity: float = 0.5) -> ModelDefinition:
+    """A two-layer CNN small enough for the reference backend.
+
+    The flattened reduction axis (``K*K*C`` = 27 for the first layer) is
+    deliberately not a multiple of 4 or 32, so the structured methods
+    exercise their ragged-group padding on every cross cell.
+    """
+    return ModelDefinition(
+        name="Tiny-CNN",
+        kind="cnn",
+        pruning_scheme="AGP",
+        dataset="synthetic",
+        accuracy="-",
+        conv_layers=(
+            ConvLayerSpec(
+                name="c1", in_channels=3, out_channels=8, height=12, width=12,
+                kernel=3, stride=1, padding=1, weight_sparsity=weight_sparsity,
+                activation_sparsity=0.4,
+            ),
+            ConvLayerSpec(
+                name="c2", in_channels=8, out_channels=16, height=12, width=12,
+                kernel=3, stride=2, padding=1, weight_sparsity=weight_sparsity,
+                activation_sparsity=0.5,
+            ),
+        ),
+    )
+
+
+def tiny_gemm(weight_sparsity: float = 0.5) -> ModelDefinition:
+    """A two-layer GEMM model exercising the transposed serving path.
+
+    ``k`` = 18 is again deliberately ragged for the 2:4 groups and the
+    32-wide vectors of the structured methods.
+    """
+    return ModelDefinition(
+        name="Tiny-GEMM",
+        kind="gemm",
+        pruning_scheme="magnitude",
+        dataset="synthetic",
+        accuracy="-",
+        gemm_layers=(
+            GemmLayerSpec(
+                name="g1", m=16, k=18, n=12,
+                weight_sparsity=weight_sparsity, activation_sparsity=0.4,
+            ),
+            GemmLayerSpec(
+                name="g2", m=16, k=18, n=20,
+                weight_sparsity=weight_sparsity, activation_sparsity=0.6,
+            ),
+        ),
+    )

@@ -81,6 +81,11 @@ class TestModelDatabase:
             "RNN",
         }
 
+    def test_default_models_cover_whole_registry_in_order(self):
+        from repro.nn.models import DEFAULT_MODELS
+
+        assert DEFAULT_MODELS == tuple(MODEL_REGISTRY)
+
     def test_unknown_model_rejected(self):
         with pytest.raises(ConfigError):
             get_model("AlexNet")

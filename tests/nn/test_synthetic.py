@@ -1,0 +1,162 @@
+"""Synthetic operand streams: purity, cross-process stability, memo keys.
+
+The conformance contract leans on :mod:`repro.nn.synthetic` operands
+being pure functions of ``(seed, model, layer, kind[, image])`` — not
+just within one interpreter but across *processes*: a compiled session
+serialised today and an oracle run tomorrow must draw byte-identical
+weights.  The streams fold their string labels through CRC-32 into the
+``default_rng`` entropy precisely so no per-process hash randomisation
+can leak in; the subprocess test here pins that down.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.nn.models import get_model
+from repro.nn.synthetic import (
+    clear_operand_memo,
+    conv_feature_map,
+    conv_layer_weights,
+    gemm_activations,
+    gemm_layer_weights,
+    operand_memo_size,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Operand fingerprints re-derived by the child process — one entry per
+#: (generator, pruning) probe, hashed over the raw array bytes.
+_PROBE_SCRIPT = """
+import hashlib, json
+from repro.nn.models import get_model
+from repro.nn.synthetic import (
+    conv_feature_map, conv_layer_weights, gemm_layer_weights,
+)
+
+conv = get_model("ResNet-18").conv_layers[0]
+gemm = get_model("BERT-base Encoder").gemm_layers[0]
+digests = {
+    "conv-native": conv_layer_weights("ResNet-18", conv, seed=2021),
+    "conv-2:4": conv_layer_weights("ResNet-18", conv, seed=2021, pruning="2:4"),
+    "gemm-native": gemm_layer_weights(
+        "BERT-base Encoder", gemm, seed=2021, weight_pattern="blocked"
+    ),
+    "gemm-magnitude": gemm_layer_weights(
+        "BERT-base Encoder", gemm, seed=2021, pruning="magnitude"
+    ),
+    "feature-map-3": conv_feature_map("ResNet-18", conv, seed=2021, image=3),
+}
+print(json.dumps({
+    key: hashlib.sha256(array.tobytes()).hexdigest()
+    for key, array in digests.items()
+}))
+"""
+
+
+def sha256_of(array: np.ndarray) -> str:
+    return hashlib.sha256(array.tobytes()).hexdigest()
+
+
+class TestCrossProcessStability:
+    def test_streams_are_byte_identical_across_processes(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        child = json.loads(
+            subprocess.run(
+                [sys.executable, "-c", _PROBE_SCRIPT],
+                check=True, capture_output=True, text=True, env=env,
+            ).stdout
+        )
+        conv = get_model("ResNet-18").conv_layers[0]
+        gemm = get_model("BERT-base Encoder").gemm_layers[0]
+        here = {
+            "conv-native": conv_layer_weights("ResNet-18", conv, seed=2021),
+            "conv-2:4": conv_layer_weights(
+                "ResNet-18", conv, seed=2021, pruning="2:4"
+            ),
+            "gemm-native": gemm_layer_weights(
+                "BERT-base Encoder", gemm, seed=2021, weight_pattern="blocked"
+            ),
+            "gemm-magnitude": gemm_layer_weights(
+                "BERT-base Encoder", gemm, seed=2021, pruning="magnitude"
+            ),
+            "feature-map-3": conv_feature_map(
+                "ResNet-18", conv, seed=2021, image=3
+            ),
+        }
+        assert child == {key: sha256_of(array) for key, array in here.items()}
+
+
+class TestStreamSeparation:
+    def test_different_images_draw_distinct_activations(self):
+        conv = get_model("ResNet-18").conv_layers[0]
+        gemm = get_model("RNN").gemm_layers[0]
+        conv_images = [
+            conv_feature_map("ResNet-18", conv, seed=1, image=i, scale=0.25)
+            for i in range(3)
+        ]
+        gemm_images = [
+            gemm_activations("RNN", gemm, seed=1, image=i, scale=0.125)
+            for i in range(3)
+        ]
+        for images in (conv_images, gemm_images):
+            digests = {sha256_of(array) for array in images}
+            assert len(digests) == len(images)
+
+    def test_weights_do_not_depend_on_image_or_scale(self):
+        conv = get_model("ResNet-18").conv_layers[0]
+        one = conv_layer_weights("ResNet-18", conv, seed=5)
+        two = conv_layer_weights("ResNet-18", conv, seed=5)
+        assert sha256_of(one) == sha256_of(two)
+
+    def test_pruning_methods_share_one_dense_draw(self):
+        """Every method prunes the *same* dense stream: survivors of a
+        pruned draw carry the exact values of other methods' draws."""
+        gemm = get_model("BERT-base Encoder").gemm_layers[0]
+        a = gemm_layer_weights("BERT-base Encoder", gemm, seed=7, pruning="2:4")
+        b = gemm_layer_weights(
+            "BERT-base Encoder", gemm, seed=7, pruning="magnitude"
+        )
+        both = (a != 0) & (b != 0)
+        assert both.any()
+        assert np.array_equal(a[both], b[both])
+
+
+class TestPruningAwareMemoKeys:
+    def setup_method(self):
+        clear_operand_memo()
+
+    def teardown_method(self):
+        clear_operand_memo()
+
+    def test_memo_distinguishes_pruning_methods(self):
+        conv = get_model("ResNet-18").conv_layers[0]
+        native = conv_layer_weights("ResNet-18", conv, seed=2, memo=True)
+        pruned = conv_layer_weights(
+            "ResNet-18", conv, seed=2, memo=True, pruning="2:4"
+        )
+        assert native is not pruned
+        assert operand_memo_size() == 2
+        again = conv_layer_weights(
+            "ResNet-18", conv, seed=2, memo=True, pruning="2:4"
+        )
+        assert again is pruned
+        assert not again.flags.writeable
+
+    def test_memo_distinguishes_pruning_for_gemm_weights(self):
+        gemm = get_model("RNN").gemm_layers[0]
+        kwargs = dict(seed=2, memo=True)
+        native = gemm_layer_weights("RNN", gemm, **kwargs)
+        vector = gemm_layer_weights("RNN", gemm, pruning="vector-wise", **kwargs)
+        assert native is not vector
+        assert gemm_layer_weights("RNN", gemm, **kwargs) is native
