@@ -30,8 +30,9 @@ from pathlib import Path
 import numpy as np
 
 from repro.nn.functional import run_model_functional
-from repro.nn.models import DEFAULT_MODELS
+from repro.nn.models import DEFAULT_MODELS, get_benchmark_scale
 from repro.nn.session import compile_model
+from repro.serving import Request, ServingDaemon, SessionPool
 
 MODEL = "ResNet-18"
 BATCH = 8
@@ -39,12 +40,10 @@ SEED = 2021
 MIN_SPEEDUP = 3.0
 TRAJECTORY_PATH = Path(__file__).parent / "results" / "serve_throughput.json"
 
-#: Whole-zoo pass: batch served per model and per-model data scales.
-#: Everything runs full-resolution except Mask R-CNN, whose 1333x800
-#: layers cost ~20 s/image — 0.25 keeps the zoo pass in the seconds
-#: range while still serving its paper-shaped weight matrices.
+#: Whole-zoo pass: batch served per model; per-model data scales come
+#: from the zoo's ``benchmark_scale`` metadata (Mask R-CNN runs reduced
+#: because its full-resolution layers cost ~20 s/image).
 ZOO_BATCH = 2
-ZOO_SCALES = {"Mask R-CNN": 0.25}
 
 
 def _append_trajectory(row: dict) -> None:
@@ -128,7 +127,7 @@ def test_bench_zoo_throughput(one_shot):
 
     def serve_zoo():
         for model in DEFAULT_MODELS:
-            scale = ZOO_SCALES.get(model, 1.0)
+            scale = get_benchmark_scale(model)
             compile_start = time.perf_counter()
             compiled = compile_model(model, scale=scale, seed=SEED, memo=False)
             compile_seconds = time.perf_counter() - compile_start
@@ -164,3 +163,81 @@ def test_bench_zoo_throughput(one_shot):
     for row in rows:
         assert row["session_images_per_sec"] > 0
         _append_trajectory(row)
+
+
+def test_bench_daemon_slo(one_shot):
+    """Tail-latency SLO row for the serving daemon, same 3x gate.
+
+    A same-instant burst of 8 requests flushes as one full batch, so the
+    daemon's *wall* execute time is directly comparable to the gated
+    session benchmark above: the batching/queueing machinery must keep
+    the >= 3x advantage over the per-image baseline loop.  The appended
+    trajectory row adds the daemon's virtual-time tail latencies (exact
+    nearest-rank p50/p99) on top of the wall-clock throughput columns.
+    """
+    pool = SessionPool(scale=1.0, seed=SEED, memo=False)
+    pool.session(MODEL).run(1)  # compile + warm outside the timed region
+
+    requests = tuple(
+        Request(f"slo{i:02d}", MODEL, i, arrival_us=0.0) for i in range(BATCH)
+    )
+
+    def serve():
+        # Best-of-2 on the wall execute clock, like the gated benchmark.
+        best = None
+        for _ in range(2):
+            daemon = ServingDaemon(
+                pool, batch_cap=BATCH, deadline_us=1_000.0,
+                queue_depth=BATCH, workers=1,
+            )
+            candidate = daemon.run(requests)
+            if best is None or (
+                candidate.wall_execute_seconds < best.wall_execute_seconds
+            ):
+                best = candidate
+        return best
+
+    report = one_shot(serve)
+    assert len(report.completed) == BATCH
+    assert report.rejected == () and report.failed == ()
+    assert len(report.batches) == 1 and report.batches[0].flush_cause == "full"
+
+    baseline_start = time.perf_counter()
+    baseline = [
+        run_model_functional(
+            MODEL, scale=1.0, seed=SEED, image=image, keep_outputs=True
+        )
+        for image in range(BATCH)
+    ]
+    baseline_seconds = time.perf_counter() - baseline_start
+
+    # Responses carry the real per-image runs, bit-identical to the loop.
+    by_id = report.by_id()
+    for image in range(BATCH):
+        expected = baseline[image]
+        actual = by_id[f"slo{image:02d}"].result
+        for exp, got in zip(expected.layers, actual.layers):
+            assert exp.stats == got.stats, exp.layer
+            assert np.array_equal(exp.output, got.output), exp.layer
+
+    daemon_seconds = report.wall_execute_seconds
+    speedup = baseline_seconds / daemon_seconds
+    _append_trajectory(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            "workload": f"daemon {MODEL} scale=1.0 batch={BATCH}",
+            "daemon_seconds": round(daemon_seconds, 4),
+            "daemon_images_per_sec": round(BATCH / daemon_seconds, 3),
+            "baseline_seconds": round(baseline_seconds, 4),
+            "baseline_images_per_sec": round(BATCH / baseline_seconds, 3),
+            "speedup": round(speedup, 2),
+            "p50_latency_us": round(report.latency.percentile(50.0), 3),
+            "p99_latency_us": round(report.latency.percentile(99.0), 3),
+        }
+    )
+    assert report.latency.percentile(50.0) <= report.latency.percentile(99.0)
+    assert speedup >= MIN_SPEEDUP, (
+        f"serving daemon only {speedup:.2f}x faster than the per-image "
+        f"run_model_functional loop at batch {BATCH} "
+        f"(required: {MIN_SPEEDUP:.0f}x)"
+    )

@@ -2,7 +2,23 @@
 
 Registered here (rather than in ``tests/experiments/conftest.py``) so the
 option exists regardless of which directory the run targets.
+
+Besides the ``--update-golden`` option and the suite markers, this file
+enforces a hard per-test timeout on every ``serving``-marked test: the
+serving daemon is a queueing system, and a queueing bug's natural
+failure mode is a hang (a flush that never fires, a drain that waits on
+a dead worker) — the alarm turns that into a loud, fast failure instead
+of a wedged CI run.
 """
+
+import signal
+
+import pytest
+
+#: Hard wall-clock ceiling of one `serving`-marked test, seconds.
+#: Generous: the whole suite runs on a virtual clock and finishes in
+#: seconds, so anything approaching the ceiling is a hang, not load.
+SERVING_TEST_TIMEOUT_S = 120
 
 
 def pytest_addoption(parser):
@@ -22,3 +38,39 @@ def pytest_configure(config):
         "conformance: model-zoo conformance cells (model x pruning x "
         "backend parity grid; select with `-m conformance`)",
     )
+    config.addinivalue_line(
+        "markers",
+        "serving: serving-daemon suite (virtual-clock batching, fault "
+        "injection, latency stats; select with `-m serving`). Runs under "
+        f"a hard {SERVING_TEST_TIMEOUT_S}s per-test timeout so a hung "
+        "queue fails fast; override with `@pytest.mark.serving(timeout=N)`.",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Alarm-based hard timeout for `serving`-marked tests.
+
+    Uses ``SIGALRM`` (main-thread, POSIX) rather than a watchdog thread:
+    the interrupted traceback then points *into* the hung daemon code.
+    On platforms without ``SIGALRM`` the timeout degrades to a no-op
+    rather than skipping the tests.
+    """
+    marker = item.get_closest_marker("serving")
+    if marker is None or not hasattr(signal, "SIGALRM"):
+        return (yield)
+    seconds = marker.kwargs.get("timeout", SERVING_TEST_TIMEOUT_S)
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"serving test exceeded its hard {seconds}s timeout — "
+            "a hung queue/daemon fails fast instead of wedging CI"
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)

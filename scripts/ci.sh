@@ -6,11 +6,15 @@
 # batch-folded sessions must be bit-identical to the dense/per-image
 # paths), the model-zoo conformance grid (every model x pruning method
 # served through compiled sessions, pinned to golden rows),
-# the conv-pipeline, blocked-engine and serving-throughput
-# benchmarks (keep the speedup trajectory JSONs populated and gate the
-# 2048^3 >= 5x blocked advantage plus the >= 3x batch-8 serving
-# advantage) and a parallel + cached runner smoke pass that must print
-# byte-identical tables on the cached re-run.
+# the serving-daemon suite (deterministic fault injection, batching
+# properties, exact-percentile stats — each test under a hard SIGALRM
+# timeout) plus a quick daemon smoke run, the conv-pipeline,
+# blocked-engine and serving-throughput benchmarks (keep the speedup
+# trajectory JSONs populated and gate the 2048^3 >= 5x blocked
+# advantage plus the >= 3x batch-8 serving advantage, now also gated
+# through the daemon path with p50/p99 SLO rows) and a parallel +
+# cached runner smoke pass that must print byte-identical tables on
+# the cached re-run.
 # Run from anywhere; no arguments.
 set -euo pipefail
 
@@ -37,6 +41,15 @@ python -m pytest -q tests/core/test_encoded_operands.py tests/nn/test_session.py
 
 echo "== model-zoo conformance grid (every model x pruning method x backend vs golden rows) =="
 python -m pytest -q -m conformance tests/conformance
+
+echo "== serving daemon suite (fault injection, batching properties, latency stats) =="
+# Hard wall-clock bound on top of the per-test SIGALRM timeout: a hung
+# virtual-clock event loop must fail CI, not stall it.
+timeout 600 python -m pytest -q -m serving tests/serving
+
+echo "== serving daemon smoke (quick Poisson run over the zoo) =="
+timeout 300 python -m repro.experiments.runner --quick --no-cache serve_daemon \
+    > /dev/null
 
 echo "== spconv speedup benchmark (quick: full-res Table III layer) =="
 python -m pytest -q benchmarks/test_spconv_speedup.py

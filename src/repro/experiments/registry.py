@@ -178,6 +178,34 @@ _SPECS = (
         ),
     ),
     ExperimentSpec(
+        name="serve_daemon",
+        module="repro.experiments.serve_daemon",
+        func="run_serve_daemon",
+        description="Serving daemon under Poisson load: batching + latency SLOs",
+        quick={
+            "scale": 0.0625,
+            "requests": 6,
+            "image_pool": 4,
+            "batch_caps": [3],
+            "deadlines_us": [800.0],
+        },
+        sweepable=frozenset(
+            {
+                "models",
+                "batch_caps",
+                "deadlines_us",
+                "workers_counts",
+                "queue_depth",
+                "requests",
+                "mean_gap_us",
+                "image_pool",
+                "scale",
+                "backend",
+                "pruning",
+            }
+        ),
+    ),
+    ExperimentSpec(
         name="spconv",
         module="repro.experiments.spconv_pipeline",
         func="run_spconv",

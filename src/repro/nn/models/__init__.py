@@ -34,6 +34,13 @@ class ModelDefinition:
         weight_pattern: zero-pattern family of the pruned weights —
             ``"uniform"`` for unstructured magnitude pruning,
             ``"blocked"`` for block movement pruning (clustered zeros).
+        benchmark_scale: data-dimension scale the wall-clock throughput
+            passes (zoo benchmark, serving daemon) use for this model.
+            ``1.0`` (full resolution) for every model except Mask R-CNN,
+            whose 1333x800 layers cost tens of seconds per image — the
+            single source of truth replacing per-benchmark overrides.
+            Weight shapes are never scaled, so the pruned matrices stay
+            paper-sized regardless.
     """
 
     name: str
@@ -44,6 +51,7 @@ class ModelDefinition:
     conv_layers: tuple[ConvLayerSpec, ...] = field(default_factory=tuple)
     gemm_layers: tuple[GemmLayerSpec, ...] = field(default_factory=tuple)
     weight_pattern: str = "uniform"
+    benchmark_scale: float = 1.0
 
     @property
     def layers(self):
@@ -86,6 +94,15 @@ MODEL_REGISTRY = {
 DEFAULT_MODELS: tuple[str, ...] = tuple(MODEL_REGISTRY)
 
 
+def get_benchmark_scale(name: str) -> float:
+    """The benchmark data scale of a zoo model (see ``benchmark_scale``).
+
+    Shared by the zoo throughput benchmark and the serving daemon so
+    both serve the same per-model resolution from one source of truth.
+    """
+    return get_model(name).benchmark_scale
+
+
 def get_model(name: str) -> ModelDefinition:
     """Build the named model definition.
 
@@ -103,6 +120,7 @@ __all__ = [
     "ModelDefinition",
     "MODEL_REGISTRY",
     "DEFAULT_MODELS",
+    "get_benchmark_scale",
     "get_model",
     "vgg16_model",
     "resnet18_model",

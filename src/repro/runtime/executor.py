@@ -113,8 +113,7 @@ def run_tasks(
     if misses:
         miss_tasks = [tasks[index] for index in misses]
         if jobs > 1 and len(miss_tasks) > 1:
-            context = multiprocessing.get_context(_preferred_start_method())
-            with context.Pool(processes=min(jobs, len(miss_tasks))) as pool:
+            with make_pool(min(jobs, len(miss_tasks))) as pool:
                 timed = pool.map(_execute_timed, miss_tasks)
         else:
             timed = [_execute_timed(task) for task in miss_tasks]
@@ -143,3 +142,15 @@ def _preferred_start_method() -> str:
     """``fork`` where available (workers inherit imports), else spawn."""
     methods = multiprocessing.get_all_start_methods()
     return "fork" if "fork" in methods else methods[0]
+
+
+def make_pool(processes: int) -> "multiprocessing.pool.Pool":
+    """A worker pool on the preferred start method.
+
+    The single pool-construction point of the runtime: ``run_tasks``
+    uses it for experiment fan-out and the serving daemon's session pool
+    reuses it to shard model compilation across workers
+    (:meth:`repro.serving.pool.SessionPool.warm`).
+    """
+    context = multiprocessing.get_context(_preferred_start_method())
+    return context.Pool(processes=processes)

@@ -1,0 +1,61 @@
+"""Async serving daemon over compiled inference sessions.
+
+The serving layer wraps the batch-folding session runtime
+(:mod:`repro.nn.session`) in a long-running request daemon: dynamic
+batching with deadline flushing, bounded-queue admission control,
+multi-worker sharding, exact tail-latency percentiles and a
+deterministic virtual-clock core that makes every run — including
+injected crash scenarios — replayable bit for bit.  See
+:mod:`repro.serving.daemon` for the determinism contract.
+"""
+
+from repro.serving.arrivals import Request, arrival_stream, poisson_arrivals
+from repro.serving.clock import VirtualClock
+from repro.serving.daemon import (
+    COMPLETED,
+    DEFAULT_BATCH_OVERHEAD_US,
+    FAILED,
+    REJECTED,
+    BatchRecord,
+    DaemonReport,
+    ServedResponse,
+    ServingDaemon,
+)
+from repro.serving.faults import FaultPlan, WorkerKill
+from repro.serving.pool import SessionPool
+from repro.serving.queue import (
+    FLUSH_DEADLINE,
+    FLUSH_DRAIN,
+    FLUSH_FULL,
+    BatchQueue,
+)
+from repro.serving.stats import (
+    REPORTED_PERCENTILES,
+    LatencyRecorder,
+    exact_percentile,
+)
+
+__all__ = [
+    "BatchQueue",
+    "BatchRecord",
+    "COMPLETED",
+    "DEFAULT_BATCH_OVERHEAD_US",
+    "DaemonReport",
+    "FAILED",
+    "FLUSH_DEADLINE",
+    "FLUSH_DRAIN",
+    "FLUSH_FULL",
+    "FaultPlan",
+    "LatencyRecorder",
+    "REJECTED",
+    "REPORTED_PERCENTILES",
+    "Request",
+    "ServedResponse",
+    "ServingDaemon",
+    "SessionPool",
+    "VirtualClock",
+    "WorkerKill",
+    "arrival_stream",
+    "exact_percentile",
+    "poisson_arrivals",
+]

@@ -1,0 +1,54 @@
+"""Deterministic fault plans for the serving daemon.
+
+Faults are *scheduled on the virtual clock*, not induced by racing real
+threads: a :class:`FaultPlan` lists exactly which worker dies at which
+virtual microsecond, so a crash scenario replays identically on every
+run — the property the fault-injection suite leans on when it asserts
+"three consecutive runs, bit-identical reports".
+
+The other failure modes the test harness exercises need no entry here
+because they are driven by the schedule and the configuration:
+queue-overflow rejections come from a burst schedule against a small
+``queue_depth``, duplicate-id rejections from a schedule that repeats a
+``request_id``, and deadline expiry from arrival gaps longer than the
+flush deadline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class WorkerKill:
+    """Kill one worker at a virtual time.
+
+    If the worker is mid-batch at ``at_us``, the in-flight batch is
+    interrupted: its requests are retried on surviving workers (bounded
+    by the daemon's ``max_retries``) or answered with a terminal
+    ``failed`` response — never silently dropped.
+    """
+
+    worker: int
+    at_us: float
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ConfigError(f"worker index must be >= 0, got {self.worker}")
+        if self.at_us < 0:
+            raise ConfigError(f"kill time must be >= 0, got {self.at_us}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Every fault injected into one daemon run."""
+
+    worker_kills: tuple[WorkerKill, ...] = ()
+
+    def kills_sorted(self) -> tuple[WorkerKill, ...]:
+        """Kills in firing order (time, then worker id) for the event loop."""
+        return tuple(
+            sorted(self.worker_kills, key=lambda kill: (kill.at_us, kill.worker))
+        )

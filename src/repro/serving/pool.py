@@ -1,0 +1,153 @@
+"""Per-model compiled-session pool: compile once, serve forever.
+
+The daemon never calls :func:`repro.nn.session.compile_model` on the
+request path.  A :class:`SessionPool` owns one :class:`CompiledModel`
+per served model — compiled lazily on first use or eagerly (optionally
+across worker processes, via the sweep runtime's pool helper
+:func:`repro.runtime.executor.make_pool`) with :meth:`warm` — and every
+batch of requests for that model reuses the session's encoded weight
+operands and the memoized synthetic operand streams of
+:mod:`repro.nn.synthetic`.
+
+Per-model data scales default to the zoo's benchmark metadata
+(:func:`repro.nn.models.get_benchmark_scale`), the same source of truth
+the wall-clock throughput benchmark uses, so daemon outputs are directly
+comparable to the per-image oracle at the same scale.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.spgemm_warp import WarpTileConfig
+from repro.errors import ConfigError
+from repro.nn.models import ModelDefinition, get_benchmark_scale, get_model
+from repro.nn.session import CompiledModel, compile_model
+
+
+def _compile_entry(payload: tuple) -> tuple[str, CompiledModel]:
+    """Worker entry for parallel warm-up: compile one model, ship it back."""
+    name, definition, kwargs = payload
+    return name, compile_model(definition, **kwargs)
+
+
+class SessionPool:
+    """Lazily-compiled, indefinitely-reused sessions per model name.
+
+    Args:
+        scale: data scale shared by every model, or ``None`` (default)
+            to use each model's ``benchmark_scale`` metadata.
+        seed: RNG seed of the synthetic operand streams (shared with the
+            per-image oracle).
+        backend: SpGEMM backend, resolved per per-image GEMM shape.
+        pruning: named pruning method applied to every model's weights
+            (``None`` keeps each model's native pattern).
+        memo: reuse memoized synthetic operands across compiles/runs.
+        tile_config: warp-tile geometry shared by all sessions.
+        element_bytes: operand element width for traffic accounting.
+        definitions: extra :class:`ModelDefinition` objects resolvable
+            by name — lets tests serve tiny synthetic models that are
+            not part of the zoo registry.
+    """
+
+    def __init__(
+        self,
+        scale: "float | None" = None,
+        seed: int = 2021,
+        backend: str = "auto",
+        pruning: "str | None" = None,
+        memo: bool = True,
+        tile_config: "WarpTileConfig | None" = None,
+        element_bytes: int = 2,
+        definitions: "Mapping[str, ModelDefinition] | None" = None,
+    ) -> None:
+        self.scale = scale
+        self.seed = int(seed)
+        self.backend = backend
+        self.pruning = pruning
+        self.memo = memo
+        self.tile_config = tile_config
+        self.element_bytes = int(element_bytes)
+        self.definitions = dict(definitions or {})
+        self._sessions: dict[str, CompiledModel] = {}
+
+    # ------------------------------------------------------------------ #
+    # Resolution
+    # ------------------------------------------------------------------ #
+    def definition(self, model: str) -> ModelDefinition:
+        """Resolve a model name to its definition (pool extras first)."""
+        if model in self.definitions:
+            return self.definitions[model]
+        return get_model(model)
+
+    def scale_for(self, model: str) -> float:
+        """Effective data scale of one model's session."""
+        if self.scale is not None:
+            return float(self.scale)
+        if model in self.definitions:
+            return self.definitions[model].benchmark_scale
+        return get_benchmark_scale(model)
+
+    def _compile_kwargs(self, model: str) -> dict:
+        return {
+            "scale": self.scale_for(model),
+            "seed": self.seed,
+            "tile_config": self.tile_config,
+            "backend": self.backend,
+            "element_bytes": self.element_bytes,
+            "memo": self.memo,
+            "pruning": self.pruning,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Sessions
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    @property
+    def compiled_models(self) -> tuple[str, ...]:
+        """Names with a live compiled session, in compile order."""
+        return tuple(self._sessions)
+
+    def session(self, model: str) -> CompiledModel:
+        """The compiled session of one model (compiled on first use)."""
+        session = self._sessions.get(model)
+        if session is None:
+            session = compile_model(
+                self.definition(model), **self._compile_kwargs(model)
+            )
+            self._sessions[model] = session
+        return session
+
+    def warm(self, models: Sequence[str], jobs: int = 1) -> None:
+        """Eagerly compile sessions, optionally across worker processes.
+
+        With ``jobs > 1`` the compilations are sharded over a process
+        pool (:func:`repro.runtime.executor.make_pool`); the compiled
+        sessions are shipped back whole — encoded operands are plain
+        array-backed dataclasses — so the daemon still serves them
+        bit-identically to an in-process compile.
+        """
+        if jobs < 1:
+            raise ConfigError(f"jobs must be >= 1, got {jobs}")
+        missing = [name for name in models if name not in self._sessions]
+        # Deduplicate while preserving order; compiling twice is wasteful
+        # but recompiling *the same* name in two workers is outright lost
+        # work.
+        missing = list(dict.fromkeys(missing))
+        if not missing:
+            return
+        if jobs == 1 or len(missing) == 1:
+            for name in missing:
+                self.session(name)
+            return
+        from repro.runtime.executor import make_pool
+
+        payloads = [
+            (name, self.definition(name), self._compile_kwargs(name))
+            for name in missing
+        ]
+        with make_pool(min(jobs, len(payloads))) as pool:
+            for name, session in pool.map(_compile_entry, payloads):
+                self._sessions[name] = session

@@ -1,0 +1,66 @@
+"""Shared fixtures of the serving-daemon suite.
+
+Every test here runs on the virtual clock — there is not a single
+wall-clock sleep in the suite; scenarios are forced by *placing arrival
+times and fault times on the timeline*, which is what makes crash
+interleavings replayable.  The served models are the tiny conformance
+models of ``tests/conformance/zoo_harness.py`` so each oracle comparison
+costs milliseconds.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "conformance"))
+
+from zoo_harness import assert_runs_equal, tiny_cnn, tiny_gemm  # noqa: E402
+
+from repro.nn.functional import run_model_functional  # noqa: E402
+from repro.serving import SessionPool  # noqa: E402
+
+SEED = 2021
+
+
+def pytest_collection_modifyitems(items):
+    """Every test in this directory belongs to the `serving` marker suite
+    and therefore runs under the root conftest's hard per-test timeout."""
+    for item in items:
+        item.add_marker(pytest.mark.serving)
+
+
+@pytest.fixture(scope="session")
+def definitions():
+    """The tiny conv + GEMM models served throughout the suite."""
+    return {"Tiny-CNN": tiny_cnn(), "Tiny-GEMM": tiny_gemm()}
+
+
+@pytest.fixture()
+def pool(definitions):
+    """A fresh session pool over the tiny models (memoized operands)."""
+    return SessionPool(seed=SEED, definitions=definitions)
+
+
+@pytest.fixture(scope="session")
+def oracle(definitions):
+    """Cached per-image functional oracle: ``oracle(model, image)``."""
+    cache: dict = {}
+
+    def _oracle(model: str, image: int):
+        key = (model, image)
+        if key not in cache:
+            cache[key] = run_model_functional(
+                definitions[model], seed=SEED, image=image, keep_outputs=True
+            )
+        return cache[key]
+
+    return _oracle
+
+
+@pytest.fixture(scope="session")
+def runs_equal():
+    """Bit-exact run comparator shared with the conformance suite."""
+    return assert_runs_equal
