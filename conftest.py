@@ -4,21 +4,26 @@ Registered here (rather than in ``tests/experiments/conftest.py``) so the
 option exists regardless of which directory the run targets.
 
 Besides the ``--update-golden`` option and the suite markers, this file
-enforces a hard per-test timeout on every ``serving``-marked test: the
-serving daemon is a queueing system, and a queueing bug's natural
+enforces a hard per-test timeout on every ``serving``- or
+``runtime``-marked test: the serving daemon is a queueing system and the
+sweep executor is a process scheduler, and both families' natural
 failure mode is a hang (a flush that never fires, a drain that waits on
-a dead worker) — the alarm turns that into a loud, fast failure instead
-of a wedged CI run.
+a dead worker, a parent polling a worker it forgot to kill) — the alarm
+turns that into a loud, fast failure instead of a wedged CI run.
 """
 
 import signal
 
 import pytest
 
-#: Hard wall-clock ceiling of one `serving`-marked test, seconds.
-#: Generous: the whole suite runs on a virtual clock and finishes in
-#: seconds, so anything approaching the ceiling is a hang, not load.
-SERVING_TEST_TIMEOUT_S = 120
+#: Hard wall-clock ceiling per marked test, seconds, by marker name.
+#: Generous: the serving suite runs on a virtual clock and the runtime
+#: suite's subprocess scenarios finish in seconds, so anything
+#: approaching the ceiling is a hang, not load.
+SUITE_TIMEOUTS_S = {
+    "serving": 120,
+    "runtime": 180,
+}
 
 
 def pytest_addoption(parser):
@@ -42,29 +47,43 @@ def pytest_configure(config):
         "markers",
         "serving: serving-daemon suite (virtual-clock batching, fault "
         "injection, latency stats; select with `-m serving`). Runs under "
-        f"a hard {SERVING_TEST_TIMEOUT_S}s per-test timeout so a hung "
+        f"a hard {SUITE_TIMEOUTS_S['serving']}s per-test timeout so a hung "
         "queue fails fast; override with `@pytest.mark.serving(timeout=N)`.",
+    )
+    config.addinivalue_line(
+        "markers",
+        "runtime: sweep-runtime suite (plan/journal/retry, executor fault "
+        "injection, crash/resume subprocess scenarios; select with "
+        f"`-m runtime`). Runs under a hard {SUITE_TIMEOUTS_S['runtime']}s "
+        "per-test timeout so a hung scheduler fails fast; override with "
+        "`@pytest.mark.runtime(timeout=N)`.",
     )
 
 
 @pytest.hookimpl(wrapper=True)
 def pytest_runtest_call(item):
-    """Alarm-based hard timeout for `serving`-marked tests.
+    """Alarm-based hard timeout for `serving`/`runtime`-marked tests.
 
     Uses ``SIGALRM`` (main-thread, POSIX) rather than a watchdog thread:
-    the interrupted traceback then points *into* the hung daemon code.
-    On platforms without ``SIGALRM`` the timeout degrades to a no-op
-    rather than skipping the tests.
+    the interrupted traceback then points *into* the hung daemon or
+    scheduler code.  On platforms without ``SIGALRM`` the timeout
+    degrades to a no-op rather than skipping the tests.
     """
-    marker = item.get_closest_marker("serving")
+    marker = None
+    suite = None
+    for name in SUITE_TIMEOUTS_S:
+        marker = item.get_closest_marker(name)
+        if marker is not None:
+            suite = name
+            break
     if marker is None or not hasattr(signal, "SIGALRM"):
         return (yield)
-    seconds = marker.kwargs.get("timeout", SERVING_TEST_TIMEOUT_S)
+    seconds = marker.kwargs.get("timeout", SUITE_TIMEOUTS_S[suite])
 
     def on_alarm(signum, frame):
         raise TimeoutError(
-            f"serving test exceeded its hard {seconds}s timeout — "
-            "a hung queue/daemon fails fast instead of wedging CI"
+            f"{suite} test exceeded its hard {seconds}s timeout — "
+            "a hung queue/daemon/scheduler fails fast instead of wedging CI"
         )
 
     previous = signal.signal(signal.SIGALRM, on_alarm)

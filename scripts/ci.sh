@@ -8,7 +8,10 @@
 # served through compiled sessions, pinned to golden rows),
 # the serving-daemon suite (deterministic fault injection, batching
 # properties, exact-percentile stats — each test under a hard SIGALRM
-# timeout) plus a quick daemon smoke run, the conv-pipeline,
+# timeout) plus a quick daemon smoke run, the sweep-runtime suite
+# (plan/journal/retry/executor-faults/crash-resume, also under SIGALRM
+# timeouts) plus a kill-and-resume smoke that SIGKILLs a live sweep and
+# demands a byte-identical report after --resume, the conv-pipeline,
 # blocked-engine and serving-throughput benchmarks (keep the speedup
 # trajectory JSONs populated and gate the 2048^3 >= 5x blocked
 # advantage plus the >= 3x batch-8 serving advantage, now also gated
@@ -51,6 +54,32 @@ echo "== serving daemon smoke (quick Poisson run over the zoo) =="
 timeout 300 python -m repro.experiments.runner --quick --no-cache serve_daemon \
     > /dev/null
 
+echo "== sweep runtime suite (plan, journal, retry, executor faults, crash/resume) =="
+timeout 600 python -m pytest -q -m runtime tests/runtime
+
+echo "== crash-safety smoke: SIGKILL a live sweep, --resume to a byte-identical report =="
+crash_dir="$(mktemp -d)"
+trap 'rm -rf "$crash_dir"' EXIT
+CRASH_EXPERIMENTS=(fig19 fig5 table3 fig21)
+REPRO_CACHE_DIR="$crash_dir/straight" python -m repro.experiments.runner \
+    --quick "${CRASH_EXPERIMENTS[@]}" > "$crash_dir/straight.txt"
+REPRO_CACHE_DIR="$crash_dir/killed" python -m repro.experiments.runner \
+    --quick "${CRASH_EXPERIMENTS[@]}" > /dev/null 2>&1 &
+victim=$!
+# Kill as soon as the journal records the first completed task.
+for _ in $(seq 1 1500); do
+    if grep -qs task_completed "$crash_dir"/killed/runs/*.jsonl; then break; fi
+    kill -0 "$victim" 2> /dev/null || { echo "victim exited early" >&2; exit 1; }
+    sleep 0.02
+done
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+grep -qs task_completed "$crash_dir"/killed/runs/*.jsonl
+! grep -qs run_finished "$crash_dir"/killed/runs/*.jsonl
+REPRO_CACHE_DIR="$crash_dir/killed" python -m repro.experiments.runner \
+    --quick --resume "${CRASH_EXPERIMENTS[@]}" > "$crash_dir/resumed.txt"
+cmp "$crash_dir/straight.txt" "$crash_dir/resumed.txt"
+
 echo "== spconv speedup benchmark (quick: full-res Table III layer) =="
 python -m pytest -q benchmarks/test_spconv_speedup.py
 
@@ -62,7 +91,7 @@ python -m pytest -q benchmarks/test_serve_throughput.py
 
 echo "== runner smoke: --quick --jobs 2 --cache, cached re-run byte-identical =="
 smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
+trap 'rm -rf "$smoke_dir" "$crash_dir"' EXIT
 REPRO_CACHE_DIR="$smoke_dir/cache" python -m repro.experiments.runner \
     --quick --jobs 2 --cache > "$smoke_dir/first.txt"
 REPRO_CACHE_DIR="$smoke_dir/cache" python -m repro.experiments.runner \

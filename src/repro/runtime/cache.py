@@ -136,9 +136,20 @@ class ResultCache:
             "code_version": code_version(),
             "rows": rows,
         }
+        # Crash-safe by construction: the entry is written to a sibling
+        # temp file, fsync'd, and only then renamed over the final path
+        # (atomic on POSIX).  A process killed at any instant therefore
+        # leaves either no entry or a complete one — never a truncated
+        # JSON document — and a stray temp file is cleaned up rather
+        # than mistaken for an entry (`load` only reads `<key>.json`).
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        with tmp.open("w", encoding="utf-8") as handle:
-            # No sort_keys: row column order is part of the rendered table.
-            json.dump(entry, handle, indent=1)
-        os.replace(tmp, path)
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                # No sort_keys: row column order is part of the rendered table.
+                json.dump(entry, handle, indent=1)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
         return path

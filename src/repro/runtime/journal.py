@@ -1,0 +1,180 @@
+"""Append-only, fsync'd JSONL run journal — crash-safe by construction.
+
+Every state transition of a plan execution is one JSON line, flushed
+*and* fsync'd before the executor proceeds, so the journal on disk is
+always a valid prefix of the run's event sequence plus at most one
+torn trailing line (a crash mid-``write``).  Reading tolerates exactly
+that: :func:`read_events` stops at the first undecodable line, and
+opening a journal for resume first *repairs* it — truncates the torn
+tail — so appended events never concatenate onto a partial record.
+
+Event vocabulary (field names are part of the on-disk contract):
+
+=================== =====================================================
+``run_started``     plan id, task counts, jobs/retry/timeout settings
+``task_skipped``    entry served from the result cache (plan or resume)
+``task_started``    attempt ``n`` of one entry dispatched
+``task_completed``  attempt succeeded; rows stored to the cache *first*,
+                    so a journal-completed task always has cached rows
+``task_failed``     attempt failed (``kind``: killed | timeout |
+                    exception, plus a ``transient`` flag)
+``task_retried``    a transient failure consumed one retry; carries the
+                    deterministic ``backoff_s``
+``task_quarantined`` retries exhausted or permanent failure — the cell
+                    is abandoned, the grid continues (``--keep-going``)
+                    or drains and aborts
+``run_finished``    terminal counts for the whole plan
+=================== =====================================================
+
+Wall-clock measurements (``duration_s``, ``wall_s``) are the only
+non-deterministic fields; :func:`signature` strips them, which is what
+the fault suite compares when it asserts "same seed, same journal".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+#: Journal fields that carry wall-clock measurements (non-deterministic).
+TIMING_FIELDS = ("duration_s", "wall_s")
+
+
+class RunJournal:
+    """Append-only JSONL writer with per-event fsync.
+
+    Args:
+        path: journal file; parent directories are created.
+        resume: append to an existing journal (after repairing any torn
+            tail) instead of starting a fresh one.
+    """
+
+    def __init__(self, path: "Path | str", resume: bool = False) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and self.path.exists():
+            repair(self.path)
+            self._handle = self.path.open("ab")
+        else:
+            self._handle = self.path.open("wb")
+
+    def append(self, event: str, **fields: Any) -> None:
+        """Write one event line; durable (fsync) before returning."""
+        record = {"event": event, **fields}
+        line = json.dumps(record, separators=(",", ":")).encode() + b"\n"
+        self._handle.write(line)
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def repair(path: "Path | str") -> int:
+    """Truncate a journal to its longest valid prefix of whole events.
+
+    Returns the number of surviving events.  A torn trailing line (the
+    only corruption an fsync-per-line writer can leave behind) is cut;
+    so is anything after a mid-file undecodable line, conservatively —
+    events past a corrupt record cannot be trusted to follow it.
+    """
+    path = Path(path)
+    valid_bytes = 0
+    events = 0
+    with path.open("rb") as handle:
+        for line in handle:
+            if not line.endswith(b"\n"):
+                break
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if not isinstance(record, dict) or "event" not in record:
+                break
+            valid_bytes += len(line)
+            events += 1
+    if valid_bytes < path.stat().st_size:
+        with path.open("r+b") as handle:
+            handle.truncate(valid_bytes)
+    return events
+
+
+def read_events(path: "Path | str") -> "list[dict]":
+    """Parse a journal, stopping at the first torn/corrupt line.
+
+    A missing file is an empty journal — resume from nothing is a fresh
+    run, not an error.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    events: "list[dict]" = []
+    with path.open("rb") as handle:
+        for line in handle:
+            if not line.endswith(b"\n"):
+                break
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                break
+            if not isinstance(record, dict) or "event" not in record:
+                break
+            events.append(record)
+    return events
+
+
+def replay(events: Iterable[Mapping[str, Any]]) -> "dict[str, dict]":
+    """Fold an event sequence into per-key terminal state.
+
+    Returns ``{key: {"status": ..., "attempts": n}}`` where status is
+    ``"completed"`` (done — rows are in the result cache),
+    ``"quarantined"`` (abandoned after exhausting its budget) or
+    ``"started"`` (dispatched but never finished: the run died there).
+    Re-dispatching everything not ``"completed"`` is exactly the resume
+    rule.
+    """
+    state: "dict[str, dict]" = {}
+    for event in events:
+        key = event.get("key")
+        if key is None:
+            continue
+        slot = state.setdefault(key, {"status": "started", "attempts": 0})
+        kind = event.get("event")
+        if kind == "task_started":
+            slot["status"] = "started"
+            slot["attempts"] = max(slot["attempts"], int(event.get("attempt", 1)))
+        elif kind in ("task_completed", "task_skipped"):
+            slot["status"] = "completed"
+        elif kind == "task_quarantined":
+            slot["status"] = "quarantined"
+    return state
+
+
+def signature(
+    events: Iterable[Mapping[str, Any]],
+    drop: Sequence[str] = TIMING_FIELDS,
+) -> "list[tuple]":
+    """Deterministic shape of an event sequence (timing fields stripped).
+
+    Two runs of the same seeded fault scenario must produce equal
+    signatures — the property the fault-injection suite pins.
+    """
+    stripped = []
+    for event in events:
+        stripped.append(
+            tuple(
+                (field, value)
+                for field, value in event.items()
+                if field not in drop
+            )
+        )
+    return stripped

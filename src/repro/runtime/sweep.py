@@ -30,7 +30,12 @@ from typing import Any, Mapping, Sequence, Tuple
 from repro.errors import ConfigError
 from repro.experiments.registry import get_experiment
 from repro.runtime.cache import ResultCache
-from repro.runtime.executor import ExperimentTask, TaskResult, run_tasks
+from repro.runtime.executor import (
+    ExperimentTask,
+    TaskResult,
+    run_plan,
+    run_tasks,
+)
 
 
 @dataclass(frozen=True)
@@ -125,11 +130,45 @@ class SweepResult:
     def cache_hits(self) -> int:
         return sum(1 for result in self.results if result.cached)
 
+    @property
+    def failures(self) -> "Tuple[TaskResult, ...]":
+        """Quarantined cells (empty unless run with a retry policy)."""
+        return tuple(result for result in self.results if not result.ok)
+
 
 def run_sweep(
     spec: SweepSpec,
     jobs: int = 1,
     cache: "ResultCache | None" = None,
+    *,
+    policy=None,
+    journal=None,
+    faults=None,
+    keep_going: bool = False,
 ) -> SweepResult:
-    """Expand and execute a sweep grid; results keep grid order."""
-    return SweepResult(results=tuple(run_tasks(spec.expand(), jobs=jobs, cache=cache)))
+    """Expand and execute a sweep grid; results keep grid order.
+
+    With only ``jobs``/``cache`` set this is the original eager engine.
+    Passing any of ``policy`` (:class:`repro.runtime.retry.RetryPolicy`),
+    ``journal`` (:class:`repro.runtime.journal.RunJournal`), ``faults``
+    (:class:`repro.runtime.faults.ExecutorFaultPlan`) or ``keep_going``
+    routes the grid through the fault-tolerant plan executor instead:
+    bounded retries, parent-enforced timeouts, journaling, and
+    quarantined cells surfacing in :attr:`SweepResult.failures` rather
+    than as an exception out of the pool.
+    """
+    tasks = spec.expand()
+    if policy is None and journal is None and faults is None and not keep_going:
+        return SweepResult(results=tuple(run_tasks(tasks, jobs=jobs, cache=cache)))
+    from repro.runtime.plan import build_plan
+
+    execution = run_plan(
+        build_plan(tasks, cache),
+        jobs=jobs,
+        cache=cache,
+        journal=journal,
+        policy=policy,
+        faults=faults,
+        keep_going=keep_going,
+    )
+    return SweepResult(results=tuple(execution.results))

@@ -17,12 +17,15 @@ comparable to the per-image oracle at the same scale.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Mapping, Sequence, TYPE_CHECKING
 
 from repro.core.spgemm_warp import WarpTileConfig
 from repro.errors import ConfigError
 from repro.nn.models import ModelDefinition, get_benchmark_scale, get_model
 from repro.nn.session import CompiledModel, compile_model
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.runtime.retry import RetryPolicy
 
 
 def _compile_entry(payload: tuple) -> tuple[str, CompiledModel]:
@@ -120,7 +123,12 @@ class SessionPool:
             self._sessions[model] = session
         return session
 
-    def warm(self, models: Sequence[str], jobs: int = 1) -> None:
+    def warm(
+        self,
+        models: Sequence[str],
+        jobs: int = 1,
+        policy: "RetryPolicy | None" = None,
+    ) -> None:
         """Eagerly compile sessions, optionally across worker processes.
 
         With ``jobs > 1`` the compilations are sharded over a process
@@ -128,6 +136,14 @@ class SessionPool:
         sessions are shipped back whole — encoded operands are plain
         array-backed dataclasses — so the daemon still serves them
         bit-identically to an in-process compile.
+
+        With a ``policy`` (:class:`repro.runtime.retry.RetryPolicy`),
+        compiles that fail with a :class:`repro.runtime.retry.TransientError`
+        are retried under the same bounded-retry/backoff discipline the
+        sweep executor uses, instead of failing the whole warm-up on the
+        first error.  A parallel first attempt counts against the
+        budget; the surviving retries run in-process.  Permanent errors
+        still propagate immediately.
         """
         if jobs < 1:
             raise ConfigError(f"jobs must be >= 1, got {jobs}")
@@ -140,14 +156,45 @@ class SessionPool:
             return
         if jobs == 1 or len(missing) == 1:
             for name in missing:
-                self.session(name)
+                self._compile_with_retry(name, policy)
             return
         from repro.runtime.executor import make_pool
+        from repro.runtime.retry import TransientError
 
         payloads = [
             (name, self.definition(name), self._compile_kwargs(name))
             for name in missing
         ]
+        flaky: "list[str]" = []
         with make_pool(min(jobs, len(payloads))) as pool:
-            for name, session in pool.map(_compile_entry, payloads):
-                self._sessions[name] = session
+            handles = [
+                (payload[0], pool.apply_async(_compile_entry, (payload,)))
+                for payload in payloads
+            ]
+            for name, handle in handles:
+                try:
+                    compiled_name, session = handle.get()
+                except TransientError:
+                    if policy is None or policy.max_retries < 1:
+                        raise
+                    flaky.append(name)
+                else:
+                    self._sessions[compiled_name] = session
+        for name in flaky:
+            self._compile_with_retry(name, policy, attempts_used=1)
+
+    def _compile_with_retry(
+        self,
+        name: str,
+        policy: "RetryPolicy | None",
+        attempts_used: int = 0,
+    ) -> None:
+        """Compile one session, retrying transient failures under ``policy``."""
+        if policy is None:
+            self.session(name)
+            return
+        from repro.runtime.retry import call_with_retry
+
+        call_with_retry(
+            lambda: self.session(name), policy, attempts_used=attempts_used
+        )

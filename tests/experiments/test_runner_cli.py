@@ -56,6 +56,21 @@ class TestListAndErrors:
         assert code == 2
         assert "--jobs" in err
 
+    def test_negative_max_retries_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "--max-retries", "-1", "table2")
+        assert code == 2
+        assert "--max-retries" in err
+
+    def test_non_positive_task_timeout_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "--task-timeout", "0", "table2")
+        assert code == 2
+        assert "--task-timeout" in err
+
+    def test_resume_without_cache_or_journal_rejected(self, capsys):
+        code, _, err = run_cli(capsys, "--resume", "--no-cache", "fig19")
+        assert code == 2
+        assert "--resume" in err
+
 
 class TestCachedAndParallelIdentity:
     def test_cached_rerun_is_byte_identical(self, capsys):
@@ -91,3 +106,94 @@ class TestCachedAndParallelIdentity:
         _, out, err = run_cli(capsys, "--quick", "table2")
         assert "[runner]" in err
         assert "[runner]" not in out
+
+    def test_progress_lines_count_every_task(self, capsys):
+        _, _, err = run_cli(capsys, "--quick", "fig19", "fig5")
+        assert "[runner] 1/2" in err
+        assert "[runner] 2/2" in err
+
+
+class TestDryRun:
+    def test_dry_run_prints_plan_and_executes_nothing(self, capsys, tmp_path):
+        code, out, err = run_cli(capsys, "--quick", "--dry-run", "fig19", "fig5")
+        assert code == 0
+        assert "fig19" in out and "fig5" in out
+        assert "pending" in out
+        assert "dry run" in err and "nothing executed" in err
+        assert "=== fig19" not in out  # no result tables, just the plan
+        # Nothing was computed: a real run afterwards starts cold.
+        code, _, err = run_cli(capsys, "--quick", "fig19", "fig5")
+        assert code == 0
+        assert "0 cache hit(s)" in err
+
+    def test_dry_run_shows_cached_statuses(self, capsys):
+        run_cli(capsys, "--quick", "fig19")
+        code, out, _ = run_cli(capsys, "--quick", "--dry-run", "fig19", "fig5")
+        assert code == 0
+        assert "cached" in out
+        assert "pending" in out
+
+
+class TestFailureReporting:
+    # The 1ms budget expires before any experiment can finish (the
+    # parent wakes at the deadline and kills the worker), so every
+    # attempt reliably times out.
+    FAILING = [
+        "--quick",
+        "--task-timeout",
+        "0.001",
+        "--max-retries",
+        "1",
+        "--keep-going",
+        "table3",
+    ]
+
+    def test_permanent_failure_exits_nonzero_with_summary(self, capsys):
+        code, out, err = run_cli(capsys, *self.FAILING)
+        assert code == 1
+        assert out == ""  # no table for a quarantined task
+        assert "FAILED table3" in err
+        assert "params=" in err
+        assert "1 retry(ies) used" in err
+        assert "1 failed" in err
+
+    def test_fail_fast_reports_undispatched_tasks(self, capsys):
+        argv = [arg for arg in self.FAILING if arg != "--keep-going"]
+        code, _, err = run_cli(capsys, *argv, "fig5")
+        assert code == 1
+        assert "stopped after first failure" in err
+        assert "--keep-going" in err
+
+    def test_keep_going_still_prints_surviving_tables(self, capsys):
+        # table3 is quarantined by the injected timeout; fig5 was cached
+        # beforehand so it survives the timeout and still prints.
+        code, reference, _ = run_cli(capsys, "--quick", "fig5")
+        assert code == 0
+        code, out, err = run_cli(capsys, *self.FAILING, "fig5")
+        assert code == 1
+        assert out == reference
+        assert "FAILED table3" in err
+
+
+class TestResume:
+    def test_resume_after_finished_run_is_byte_identical(self, capsys):
+        code, first, _ = run_cli(capsys, "--quick", "fig19", "fig5")
+        assert code == 0
+        code, second, err = run_cli(capsys, "--quick", "--resume", "fig19", "fig5")
+        assert code == 0
+        assert second == first
+        assert "resuming plan" in err
+        assert "2 cache hit(s)" in err
+
+    def test_resume_with_explicit_journal_file(self, capsys, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        code, _, _ = run_cli(
+            capsys, "--quick", "--journal", str(journal), "fig19"
+        )
+        assert code == 0
+        assert journal.exists()
+        code, _, err = run_cli(
+            capsys, "--quick", "--journal", str(journal), "--resume", "fig19"
+        )
+        assert code == 0
+        assert "resuming plan" in err

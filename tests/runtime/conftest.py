@@ -1,0 +1,16 @@
+"""Shared wiring of the sweep-runtime suite.
+
+Every test in this directory belongs to the ``runtime`` marker suite and
+therefore runs under the root conftest's hard SIGALRM per-test timeout —
+the executor is a process scheduler, and a scheduler bug's natural
+failure mode is a parent waiting forever on a worker it lost track of.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        item.add_marker(pytest.mark.runtime)

@@ -94,3 +94,46 @@ class TestLoadStore:
     def test_env_var_default_root(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-root"))
         assert ResultCache().root == tmp_path / "env-root"
+
+
+class TestCrashSafety:
+    """A killed process must never leave an entry that reads as valid."""
+
+    def test_half_written_entry_is_a_miss_not_a_crash(self, cache):
+        key = cache.key("table2", {"quick": True})
+        path = cache.store(key, "table2", {"quick": True}, [{"a": 1, "b": 2.5}])
+        blob = path.read_bytes()
+        # Simulate a torn write: the first half of a valid entry.
+        path.write_bytes(blob[: len(blob) // 2])
+        assert cache.load(key) is None
+
+    def test_every_truncation_point_is_a_miss(self, cache):
+        key = cache.key("table2", {})
+        path = cache.store(key, "table2", {}, [{"a": 1}])
+        blob = path.read_bytes()
+        for cut in range(len(blob)):
+            path.write_bytes(blob[:cut])
+            assert cache.load(key) is None, f"truncation at byte {cut} not a miss"
+
+    def test_store_leaves_no_temp_files(self, cache):
+        key = cache.key("table2", {})
+        cache.store(key, "table2", {}, [{"a": 1}])
+        leftovers = [
+            p for p in cache.root.rglob("*") if p.is_file() and ".tmp" in p.name
+        ]
+        assert leftovers == []
+
+    def test_store_cleans_temp_file_on_write_failure(self, cache):
+        key = cache.key("table2", {})
+        with pytest.raises(TypeError):
+            # A non-serializable row aborts json.dump mid-write.
+            cache.store(key, "table2", {}, [{"a": object()}])
+        leftovers = [p for p in cache.root.rglob("*") if p.is_file()]
+        assert leftovers == []
+        assert cache.load(key) is None
+
+    def test_overwrite_is_atomic_replace(self, cache):
+        key = cache.key("table2", {})
+        cache.store(key, "table2", {}, [{"a": 1}])
+        cache.store(key, "table2", {}, [{"a": 2}])
+        assert cache.load(key) == [{"a": 2}]

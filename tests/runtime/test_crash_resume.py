@@ -1,0 +1,146 @@
+"""SIGKILL a live sweep mid-run, resume it, demand a byte-identical report.
+
+This is the acceptance test of the crash-safe orchestration layer, run
+against the real CLI in real subprocesses: a straight-through run in one
+cache produces the reference stdout; a second run in a fresh cache is
+SIGKILLed as soon as its journal records the first completed task, then
+relaunched with ``--resume``.  The resumed report must equal the
+reference byte for byte, with the already-finished work served from the
+cache/journal instead of being recomputed.
+"""
+
+import glob
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+# fig19/fig5 are near-instant; table3/fig21 take ~1s each in quick mode,
+# which keeps the kill window comfortably open after the first completion.
+EXPERIMENTS = ["fig19", "fig5", "table3", "fig21"]
+
+
+def runner_cmd(*extra):
+    return [
+        sys.executable,
+        "-m",
+        "repro.experiments.runner",
+        "--quick",
+        *extra,
+        *EXPERIMENTS,
+    ]
+
+
+def runner_env(cache_dir):
+    env = dict(os.environ)
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env["PYTHONPATH"] = f"{REPO_ROOT / 'src'}:{env.get('PYTHONPATH', '')}"
+    return env
+
+
+def journal_events(cache_dir):
+    paths = glob.glob(str(Path(cache_dir) / "runs" / "*.jsonl"))
+    events = []
+    for path in paths:
+        with open(path, "rb") as handle:
+            for line in handle:
+                if not line.endswith(b"\n"):
+                    break
+                try:
+                    events.append(json.loads(line))
+                except json.JSONDecodeError:
+                    break
+    return events
+
+
+def wait_for_first_completion(cache_dir, process, timeout_s=90.0):
+    """Block until the run journals its first ``task_completed``."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if any(
+            event.get("event") == "task_completed"
+            for event in journal_events(cache_dir)
+        ):
+            return
+        if process.poll() is not None:
+            raise AssertionError(
+                f"runner exited (rc={process.returncode}) before it could "
+                "be killed mid-run"
+            )
+        time.sleep(0.02)
+    raise AssertionError("no task completed before the kill-wait timeout")
+
+
+class TestKillAndResume:
+    def test_sigkilled_run_resumes_to_byte_identical_report(self, tmp_path):
+        straight_cache = tmp_path / "straight"
+        killed_cache = tmp_path / "killed"
+
+        reference = subprocess.run(
+            runner_cmd(),
+            env=runner_env(straight_cache),
+            capture_output=True,
+            timeout=300,
+        )
+        assert reference.returncode == 0, reference.stderr.decode()
+
+        victim = subprocess.Popen(
+            runner_cmd(),
+            env=runner_env(killed_cache),
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        try:
+            wait_for_first_completion(killed_cache, victim)
+        finally:
+            if victim.poll() is None:
+                victim.send_signal(signal.SIGKILL)
+            victim.wait(timeout=30)
+        assert victim.returncode == -signal.SIGKILL
+
+        # The kill landed mid-run: something finished, the run did not.
+        events = journal_events(killed_cache)
+        assert any(event.get("event") == "task_completed" for event in events)
+        assert not any(event.get("event") == "run_finished" for event in events)
+
+        resumed = subprocess.run(
+            runner_cmd("--resume"),
+            env=runner_env(killed_cache),
+            capture_output=True,
+            timeout=300,
+        )
+        assert resumed.returncode == 0, resumed.stderr.decode()
+        assert resumed.stdout == reference.stdout
+
+        # Finished work was served from the cache, not recomputed, and
+        # the resumed journal says so.
+        stderr = resumed.stderr.decode()
+        assert "resuming plan" in stderr
+        events = journal_events(killed_cache)
+        assert any(event.get("event") == "task_skipped" for event in events)
+        assert any(event.get("event") == "run_finished" for event in events)
+
+    def test_resume_of_a_finished_run_is_all_cache_hits(self, tmp_path):
+        cache = tmp_path / "cache"
+        first = subprocess.run(
+            runner_cmd(),
+            env=runner_env(cache),
+            capture_output=True,
+            timeout=300,
+        )
+        assert first.returncode == 0, first.stderr.decode()
+        again = subprocess.run(
+            runner_cmd("--resume"),
+            env=runner_env(cache),
+            capture_output=True,
+            timeout=300,
+        )
+        assert again.returncode == 0
+        assert again.stdout == first.stdout
+        assert f"{len(EXPERIMENTS)} cache hit(s)" in again.stderr.decode()

@@ -1,0 +1,232 @@
+"""Executor fault injection: every recovery path, deterministically.
+
+The scenarios mirror the serving daemon's fault suite (PR 7): faults are
+*declared*, not raced — kill worker N before/after task K, hang it past
+its timeout, raise a transient exception — so each run of a scenario
+produces the same journal event sequence, which two of the tests pin
+verbatim.
+"""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.cache import ResultCache
+from repro.runtime.executor import ExperimentTask, run_plan
+from repro.runtime.faults import ExecutorFault, ExecutorFaultPlan
+from repro.runtime.journal import RunJournal, read_events, signature
+from repro.runtime.plan import build_plan
+from repro.runtime.retry import RetryPolicy
+
+TASKS = [
+    ExperimentTask(experiment="fig19", quick=True),
+    ExperimentTask(experiment="fig5", quick=True),
+]
+
+#: Fast-but-bounded policy for the injected-fault scenarios: backoff is
+#: immediate, the timeout generous enough for a forked quick experiment.
+POLICY = RetryPolicy(max_retries=2, backoff_base_s=0.0, task_timeout_s=60.0)
+
+
+def run_with_faults(cache_root, faults, tasks=TASKS, policy=POLICY, **kwargs):
+    cache = ResultCache(cache_root)
+    return run_plan(
+        build_plan(tasks, cache), cache=cache, policy=policy, faults=faults, **kwargs
+    )
+
+
+@pytest.fixture
+def reference_rows(tmp_path_factory):
+    """Rows of a fault-free run, compared bit-for-bit against recoveries."""
+    cache = ResultCache(tmp_path_factory.mktemp("reference"))
+    execution = run_plan(build_plan(TASKS, cache), cache=cache)
+    return [result.rows for result in execution.results]
+
+
+class TestFaultPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            ExecutorFault(task_index=0, kind="explode")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ConfigError):
+            ExecutorFault(task_index=-1, kind="transient")
+
+    def test_zero_attempt_rejected(self):
+        with pytest.raises(ConfigError):
+            ExecutorFault(task_index=0, kind="transient", attempt=0)
+
+    def test_duplicate_slot_rejected(self):
+        with pytest.raises(ConfigError):
+            ExecutorFaultPlan(
+                faults=(
+                    ExecutorFault(task_index=0, kind="transient"),
+                    ExecutorFault(task_index=0, kind="kill_before"),
+                )
+            )
+
+    def test_fault_lookup(self):
+        plan = ExecutorFaultPlan(
+            faults=(ExecutorFault(task_index=1, kind="transient", attempt=2),)
+        )
+        assert plan.fault_for(1, 2) is not None
+        assert plan.fault_for(1, 1) is None
+        assert plan.fault_for(0, 2) is None
+
+    def test_hang_requires_a_timeout(self, tmp_path):
+        faults = ExecutorFaultPlan(
+            faults=(ExecutorFault(task_index=0, kind="hang"),)
+        )
+        with pytest.raises(ConfigError, match="task_timeout_s"):
+            run_with_faults(
+                tmp_path, faults, policy=RetryPolicy(task_timeout_s=None)
+            )
+
+
+class TestSeededPlans:
+    def test_same_seed_same_plan(self):
+        first = ExecutorFaultPlan.seeded(seed=7, tasks=20)
+        second = ExecutorFaultPlan.seeded(seed=7, tasks=20)
+        assert first == second
+
+    def test_different_seed_different_plan(self):
+        assert ExecutorFaultPlan.seeded(seed=1, tasks=20) != ExecutorFaultPlan.seeded(
+            seed=2, tasks=20
+        )
+
+    def test_rate_bounds_validated(self):
+        with pytest.raises(ConfigError):
+            ExecutorFaultPlan.seeded(seed=1, tasks=4, rate=1.5)
+
+    def test_default_kinds_exclude_hang(self):
+        plan = ExecutorFaultPlan.seeded(seed=3, tasks=50, rate=1.0)
+        assert plan.faults  # rate=1.0 faults every task
+        assert not plan.has_hang
+
+
+class TestRecoveryPaths:
+    """Each injected failure mode recovers through the bounded retry."""
+
+    @pytest.mark.parametrize(
+        "kind", ["kill_before", "kill_after", "transient", "hang"]
+    )
+    def test_single_fault_recovers_with_identical_rows(
+        self, kind, tmp_path, reference_rows
+    ):
+        faults = ExecutorFaultPlan(
+            faults=(ExecutorFault(task_index=0, kind=kind, hang_s=60.0),)
+        )
+        policy = POLICY if kind != "hang" else RetryPolicy(
+            max_retries=2, backoff_base_s=0.0, task_timeout_s=2.0
+        )
+        execution = run_with_faults(tmp_path, faults, policy=policy)
+        assert all(result.ok for result in execution.results)
+        assert execution.results[0].attempts == 2
+        assert execution.results[1].attempts == 1
+        assert [result.rows for result in execution.results] == reference_rows
+
+    def test_timeout_failure_kind_is_journaled(self, tmp_path):
+        faults = ExecutorFaultPlan(
+            faults=(ExecutorFault(task_index=0, kind="hang", hang_s=60.0),)
+        )
+        journal = tmp_path / "run.jsonl"
+        with RunJournal(journal) as handle:
+            run_with_faults(
+                tmp_path / "cache",
+                faults,
+                policy=RetryPolicy(
+                    max_retries=1, backoff_base_s=0.0, task_timeout_s=2.0
+                ),
+                journal=handle,
+            )
+        kinds = [
+            event["kind"]
+            for event in read_events(journal)
+            if event["event"] == "task_failed"
+        ]
+        assert kinds == ["timeout"]
+
+    def test_worker_kill_is_transient_and_journaled(self, tmp_path):
+        faults = ExecutorFaultPlan(
+            faults=(ExecutorFault(task_index=0, kind="kill_before"),)
+        )
+        journal = tmp_path / "run.jsonl"
+        with RunJournal(journal) as handle:
+            run_with_faults(tmp_path / "cache", faults, journal=handle)
+        failed = [
+            event
+            for event in read_events(journal)
+            if event["event"] == "task_failed"
+        ]
+        assert len(failed) == 1
+        assert failed[0]["kind"] == "killed"
+        assert failed[0]["transient"] is True
+
+
+class TestQuarantine:
+    ALWAYS_FAIL = ExecutorFaultPlan(
+        faults=tuple(
+            ExecutorFault(task_index=0, kind="transient", attempt=attempt)
+            for attempt in (1, 2, 3)
+        )
+    )
+
+    def test_keep_going_degrades_the_grid(self, tmp_path):
+        execution = run_with_faults(tmp_path, self.ALWAYS_FAIL, keep_going=True)
+        assert not execution.aborted
+        assert not execution.results[0].ok
+        assert execution.results[0].attempts == 3
+        assert "injected transient fault" in execution.results[0].error
+        assert execution.results[1].ok
+
+    def test_fail_fast_stops_dispatching(self, tmp_path):
+        execution = run_with_faults(tmp_path, self.ALWAYS_FAIL, keep_going=False)
+        assert execution.aborted
+        assert [result.ok for result in execution.results] == [False]
+
+    def test_quarantined_cell_journaled_with_attempts(self, tmp_path):
+        journal = tmp_path / "run.jsonl"
+        with RunJournal(journal) as handle:
+            run_with_faults(
+                tmp_path / "cache", self.ALWAYS_FAIL, keep_going=True, journal=handle
+            )
+        quarantined = [
+            event
+            for event in read_events(journal)
+            if event["event"] == "task_quarantined"
+        ]
+        assert len(quarantined) == 1
+        assert quarantined[0]["attempts"] == 3
+        assert quarantined[0]["experiment"] == "fig19"
+
+
+class TestDeterministicReplay:
+    def journal_signature(self, root, faults, policy=POLICY):
+        journal = root / "run.jsonl"
+        with RunJournal(journal) as handle:
+            execution = run_with_faults(
+                root / "cache", faults, policy=policy, journal=handle
+            )
+        assert all(result.ok for result in execution.results)
+        return signature(read_events(journal))
+
+    def test_same_scenario_same_journal_sequence(self, tmp_path):
+        faults = ExecutorFaultPlan(
+            faults=(
+                ExecutorFault(task_index=0, kind="kill_before"),
+                ExecutorFault(task_index=1, kind="transient"),
+            )
+        )
+        first = self.journal_signature(tmp_path / "a", faults)
+        second = self.journal_signature(tmp_path / "b", faults)
+        assert first == second
+
+    def test_seeded_chaos_run_is_replayable(self, tmp_path):
+        faults = ExecutorFaultPlan.seeded(
+            seed=2021, tasks=len(TASKS), rate=1.0,
+            kinds=("kill_before", "kill_after", "transient"),
+        )
+        first = self.journal_signature(tmp_path / "a", faults)
+        second = self.journal_signature(tmp_path / "b", faults)
+        assert first == second
+        # The scenario actually injected something.
+        assert any(dict(event).get("event") == "task_failed" for event in first)

@@ -1,0 +1,234 @@
+"""Tests for the append-only run journal: durability, repair, replay.
+
+The Hypothesis property at the bottom is the crash-safety contract in
+miniature: write a run's journal, cut the file at an *arbitrary byte*
+(the SIGKILL), repair + replay + finish the interrupted tasks, and the
+terminal per-task state must equal the uninterrupted run's — regardless
+of where the kill landed.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.journal import (
+    RunJournal,
+    read_events,
+    repair,
+    replay,
+    signature,
+)
+
+
+def write_events(path, events, resume=False):
+    with RunJournal(path, resume=resume) as journal:
+        for event, fields in events:
+            journal.append(event, **fields)
+
+
+class TestAppendAndRead:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_events(
+            path,
+            [
+                ("run_started", {"plan": "abc", "total": 2}),
+                ("task_started", {"key": "k0", "attempt": 1}),
+                ("task_completed", {"key": "k0", "attempt": 1, "duration_s": 0.5}),
+            ],
+        )
+        events = read_events(path)
+        assert [event["event"] for event in events] == [
+            "run_started",
+            "task_started",
+            "task_completed",
+        ]
+        assert events[1]["key"] == "k0"
+
+    def test_missing_file_is_empty_journal(self, tmp_path):
+        assert read_events(tmp_path / "absent.jsonl") == []
+
+    def test_fresh_open_truncates_previous_journal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_events(path, [("run_started", {"plan": "old"})])
+        write_events(path, [("run_started", {"plan": "new"})])
+        events = read_events(path)
+        assert len(events) == 1
+        assert events[0]["plan"] == "new"
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_events(path, [("task_completed", {"key": "k0"})])
+        with path.open("ab") as handle:
+            handle.write(b'{"event":"task_comp')  # crash mid-write
+        events = read_events(path)
+        assert len(events) == 1
+
+    def test_non_event_line_stops_parsing(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_bytes(b'{"event":"a"}\n{"no_event_field":1}\n{"event":"b"}\n')
+        assert [event["event"] for event in read_events(path)] == ["a"]
+
+
+class TestRepair:
+    def test_repair_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_events(path, [("task_completed", {"key": "k0"})])
+        size = path.stat().st_size
+        with path.open("ab") as handle:
+            handle.write(b'{"event":"task_sta')
+        assert repair(path) == 1
+        assert path.stat().st_size == size
+
+    def test_resume_after_torn_write_appends_cleanly(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_events(path, [("task_completed", {"key": "k0"})])
+        with path.open("ab") as handle:
+            handle.write(b'{"event":"task_started","key":"k1"')  # no newline
+        write_events(path, [("task_completed", {"key": "k1"})], resume=True)
+        events = read_events(path)
+        assert [event.get("key") for event in events] == ["k0", "k1"]
+        assert all(event["event"] == "task_completed" for event in events)
+
+    def test_repair_of_clean_journal_keeps_everything(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        write_events(path, [("a", {}), ("b", {}), ("c", {})])
+        assert repair(path) == 3
+        assert len(read_events(path)) == 3
+
+
+class TestReplay:
+    def test_terminal_states(self):
+        events = [
+            {"event": "task_started", "key": "done", "attempt": 1},
+            {"event": "task_completed", "key": "done", "attempt": 1},
+            {"event": "task_started", "key": "dead", "attempt": 1},
+            {"event": "task_failed", "key": "dead", "attempt": 1},
+            {"event": "task_quarantined", "key": "dead", "attempts": 1},
+            {"event": "task_started", "key": "lost", "attempt": 2},
+            {"event": "task_skipped", "key": "hit"},
+        ]
+        state = replay(events)
+        assert state["done"]["status"] == "completed"
+        assert state["dead"]["status"] == "quarantined"
+        assert state["lost"]["status"] == "started"
+        assert state["lost"]["attempts"] == 2
+        assert state["hit"]["status"] == "completed"
+
+    def test_events_without_key_are_ignored(self):
+        assert replay([{"event": "run_started", "plan": "x"}]) == {}
+
+
+class TestSignature:
+    def test_strips_wall_clock_fields_only(self):
+        first = [{"event": "task_completed", "key": "k", "duration_s": 0.123}]
+        second = [{"event": "task_completed", "key": "k", "duration_s": 9.876}]
+        assert signature(first) == signature(second)
+        third = [{"event": "task_completed", "key": "other", "duration_s": 0.123}]
+        assert signature(first) != signature(third)
+
+
+# ----------------------------------------------------------------------- #
+# Property: replay + resume reaches the straight-through terminal state
+# no matter where the kill lands.
+# ----------------------------------------------------------------------- #
+
+def _task_events(index, outcome):
+    """The journal lines one task emits under a scripted outcome."""
+    key = f"k{index}"
+    events = []
+    attempts = outcome["attempts"]
+    for attempt in range(1, attempts + 1):
+        events.append(("task_started", {"key": key, "attempt": attempt}))
+        last = attempt == attempts
+        if last and outcome["final"] == "completed":
+            events.append(
+                ("task_completed", {"key": key, "attempt": attempt, "duration_s": 0.1})
+            )
+        else:
+            events.append(
+                (
+                    "task_failed",
+                    {"key": key, "attempt": attempt, "kind": "killed",
+                     "transient": True, "error": "worker died"},
+                )
+            )
+            if last:
+                events.append(
+                    ("task_quarantined", {"key": key, "attempts": attempts,
+                                          "error": "worker died"})
+                )
+            else:
+                events.append(
+                    ("task_retried", {"key": key, "next_attempt": attempt + 1,
+                                      "backoff_s": 0.25})
+                )
+    return events
+
+
+outcomes = st.fixed_dictionaries(
+    {
+        "attempts": st.integers(min_value=1, max_value=3),
+        "final": st.sampled_from(["completed", "quarantined"]),
+    }
+)
+
+
+class TestKillAnywhereProperty:
+    @given(scripts=st.lists(outcomes, min_size=1, max_size=5), data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_resume_reaches_straight_through_state(
+        self, scripts, data, tmp_path_factory
+    ):
+        tmp_path = tmp_path_factory.mktemp("journal")
+        straight = tmp_path / "straight.jsonl"
+        all_events = [
+            event for index, outcome in enumerate(scripts)
+            for event in _task_events(index, outcome)
+        ]
+        write_events(straight, all_events)
+        want = replay(read_events(straight))
+
+        # The kill: cut the journal at an arbitrary byte offset.
+        blob = straight.read_bytes()
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob)), label="cut")
+        killed = tmp_path / "killed.jsonl"
+        killed.write_bytes(blob[:cut])
+
+        # Resume: repair the torn tail, replay, re-run every task that is
+        # not terminal, appending its scripted events again.
+        repair(killed)
+        state = replay(read_events(killed))
+        with RunJournal(killed, resume=True) as journal:
+            for index, outcome in enumerate(scripts):
+                status = state.get(f"k{index}", {}).get("status")
+                if status not in ("completed", "quarantined"):
+                    for event, fields in _task_events(index, outcome):
+                        journal.append(event, **fields)
+
+        got = replay(read_events(killed))
+        assert {key: value["status"] for key, value in got.items()} == {
+            key: value["status"] for key, value in want.items()
+        }
+
+    @given(scripts=st.lists(outcomes, min_size=1, max_size=4), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_repair_keeps_a_valid_prefix(self, scripts, data, tmp_path_factory):
+        tmp_path = tmp_path_factory.mktemp("repair")
+        path = tmp_path / "run.jsonl"
+        all_events = [
+            event for index, outcome in enumerate(scripts)
+            for event in _task_events(index, outcome)
+        ]
+        write_events(path, all_events)
+        blob = path.read_bytes()
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob)), label="cut")
+        path.write_bytes(blob[:cut])
+        repair(path)
+        repaired = path.read_bytes()
+        # The repaired file is a prefix of the original made of whole lines.
+        assert blob.startswith(repaired)
+        assert repaired == b"" or repaired.endswith(b"\n")
+        for line in repaired.splitlines():
+            json.loads(line)

@@ -185,3 +185,51 @@ class TestRunSweep:
         spec = SweepSpec(experiments=("fig5",), quick=True)
         assert run_sweep(spec, cache=cache).cache_hits == 0
         assert run_sweep(spec, cache=cache).cache_hits == 1
+
+
+class TestFaultTolerantSweep:
+    """run_sweep routes through the plan executor when resilience
+    options are passed, surfacing quarantined cells instead of raising."""
+
+    def test_policy_routes_through_plan_executor(self, cache):
+        from repro.runtime.faults import ExecutorFault, ExecutorFaultPlan
+        from repro.runtime.retry import RetryPolicy
+
+        spec = SweepSpec(experiments=("fig19", "fig5"), quick=True)
+        faults = ExecutorFaultPlan(
+            faults=(ExecutorFault(task_index=0, kind="transient"),)
+        )
+        result = run_sweep(
+            spec,
+            cache=cache,
+            policy=RetryPolicy(max_retries=1, backoff_base_s=0.0),
+            faults=faults,
+        )
+        assert result.failures == ()
+        assert len(result.results) == 2
+        # The recovered grid matches a fault-free run bit for bit.
+        plain = run_sweep(spec, cache=ResultCache(cache.root / "plain"))
+        assert result.rows() == plain.rows()
+
+    def test_quarantined_cell_lands_in_failures(self, cache):
+        from repro.runtime.faults import ExecutorFault, ExecutorFaultPlan
+        from repro.runtime.retry import RetryPolicy
+
+        spec = SweepSpec(experiments=("fig19", "fig5"), quick=True)
+        faults = ExecutorFaultPlan(
+            faults=tuple(
+                ExecutorFault(task_index=0, kind="transient", attempt=attempt)
+                for attempt in (1, 2)
+            )
+        )
+        result = run_sweep(
+            spec,
+            cache=cache,
+            policy=RetryPolicy(max_retries=1, backoff_base_s=0.0),
+            faults=faults,
+            keep_going=True,
+        )
+        assert len(result.failures) == 1
+        assert result.failures[0].task.experiment == "fig19"
+        # The surviving cell still contributes its rows.
+        assert any(row["experiment"] == "fig5" for row in result.rows())
