@@ -21,6 +21,10 @@ import pytest
 #: suite's subprocess scenarios finish in seconds, so anything
 #: approaching the ceiling is a hang, not load.
 SUITE_TIMEOUTS_S = {
+    # `soak` before `serving`: the wall-clock soak tests carry both
+    # markers (the serving directory conftest adds `serving` to every
+    # item) and the first matching marker wins the timeout lookup.
+    "soak": 300,
     "serving": 120,
     "runtime": 180,
 }
@@ -49,6 +53,14 @@ def pytest_configure(config):
         "injection, latency stats; select with `-m serving`). Runs under "
         f"a hard {SUITE_TIMEOUTS_S['serving']}s per-test timeout so a hung "
         "queue fails fast; override with `@pytest.mark.serving(timeout=N)`.",
+    )
+    config.addinivalue_line(
+        "markers",
+        "soak: wall-clock chaos soak of the socket serving front-end "
+        "(real subprocess server, seeded net faults, SIGKILL/SIGTERM; "
+        "select with `-m soak`, deselect with `-m 'not soak'`). Runs "
+        f"under a hard {SUITE_TIMEOUTS_S['soak']}s per-test timeout; "
+        "override with `@pytest.mark.soak(timeout=N)`.",
     )
     config.addinivalue_line(
         "markers",

@@ -8,7 +8,11 @@
 # served through compiled sessions, pinned to golden rows),
 # the serving-daemon suite (deterministic fault injection, batching
 # properties, exact-percentile stats — each test under a hard SIGALRM
-# timeout) plus a quick daemon smoke run, the sweep-runtime suite
+# timeout) plus a quick daemon smoke run, a wall-clock chaos soak smoke
+# of the socket serving front-end (real server subprocess, seeded net
+# faults, SIGKILL + restart, SIGTERM drain — the exactly-one-terminal,
+# digest-identity and drain invariants must hold), the sweep-runtime
+# suite
 # (plan/journal/retry/executor-faults/crash-resume, also under SIGALRM
 # timeouts) plus a kill-and-resume smoke that SIGKILLs a live sweep and
 # demands a byte-identical report after --resume, the conv-pipeline,
@@ -53,6 +57,12 @@ timeout 600 python -m pytest -q -m serving tests/serving
 echo "== serving daemon smoke (quick Poisson run over the zoo) =="
 timeout 300 python -m repro.experiments.runner --quick --no-cache serve_daemon \
     > /dev/null
+
+echo "== live serving soak smoke (socket server, seeded chaos, SIGKILL + restart, drain) =="
+# The soak's own invariant checks are the assertion: nonzero exit means
+# a robustness breach (duplicate terminal, digest mismatch, bad drain).
+timeout 300 python -m repro.experiments.serve_live \
+    --requests 24 --clients 2 > /dev/null
 
 echo "== sweep runtime suite (plan, journal, retry, executor faults, crash/resume) =="
 timeout 600 python -m pytest -q -m runtime tests/runtime

@@ -1,0 +1,650 @@
+"""Chaos soak of the wall-clock socket serving front-end.
+
+Runs a real ``python -m repro.serving.server`` subprocess and drives it
+through seeded chaos — dropped connections, garbage and truncated
+frames, slow clients, injected worker kills, a SIGKILL + restart, and a
+final SIGTERM drain — then checks the robustness invariants the serving
+layer promises:
+
+1. **Exactly one terminal response** (``completed`` / ``rejected`` /
+   ``failed``) per accepted request, observed client-side (no wire id
+   ever receives two terminals) *and* server-side (the ``violations``
+   counter stays zero and ``accepted == completed + failed +
+   rejected_deadline`` in the health snapshot).
+2. **Bit-identity**: every ``completed`` response's output digest equals
+   the digest of the local per-image functional oracle
+   (:func:`repro.nn.functional.run_model_functional` at the same scale,
+   seed and image).
+3. **Drain semantics**: after SIGTERM the server finishes in-flight
+   work, refuses new arrivals, and exits 0.  After a SIGKILL, a
+   restarted server serves the retried requests of the survivors.
+
+Chaos is seeded (:class:`repro.serving.netfaults.NetFaultSchedule`): the
+*sequence* of injected faults is a pure function of the seed even though
+wall-clock timings are not, so a failing soak names its chaos by seed.
+
+This is deliberately **not** a registered experiment: the golden
+snapshot suite pins every registry entry byte-for-byte, and a wall-clock
+soak is nondeterministic by nature.  It has its own CLI instead::
+
+    python -m repro.experiments.serve_live --requests 60 --seed 2021
+
+which prints the JSON soak report and exits nonzero if any invariant
+failed.  ``tests/serving/test_soak.py`` and the CI soak smoke drive the
+same :func:`run_soak` entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigError, ReproError
+from repro.nn.functional import run_model_functional
+from repro.runtime.retry import RetryPolicy
+from repro.serving.client import (
+    RequestNotServed,
+    ServerUnavailable,
+    ServingClient,
+)
+from repro.serving.netfaults import (
+    FAULT_DROP_AFTER,
+    FAULT_DROP_BEFORE,
+    FAULT_GARBAGE,
+    FAULT_NONE,
+    FAULT_SLOW,
+    FAULT_TRUNCATE,
+    NetFaultSchedule,
+    garbage_bytes,
+    open_raw_connection,
+    send_garbage,
+    slow_send,
+    truncated_frame,
+)
+from repro.serving.protocol import (
+    RESPONSE,
+    FrameDecoder,
+    ProtocolError,
+    encode_frame,
+    functional_run_digest,
+    hello,
+    make_request,
+)
+from repro.serving.server import demo_definitions
+from repro.serving.stats import LatencyRecorder
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak scenario — everything derives from these knobs.
+
+    Attributes:
+        seed: chaos + operand seed (shared with the server subprocess).
+        requests: logical requests in the chaos phase.
+        clients: concurrent client threads driving them.
+        images: synthetic image ids cycle over ``range(images)``.
+        batch_cap / deadline_ms / queue_depth / workers / max_retries:
+            forwarded to the server CLI.
+        request_deadline_ms: per-request deadline each client propagates
+            (also its total retry budget).
+        kill_specs: ``--kill-worker`` specs injected into the server
+            (e.g. ``("0:2:after-run",)``).
+        chaos_rates: fault mix override for the schedule.
+        sigkill_restart: run the SIGKILL + restart + retry phase.
+        startup_timeout_s: how long to wait for READY (session compiles).
+    """
+
+    seed: int = 2021
+    requests: int = 48
+    clients: int = 3
+    images: int = 4
+    batch_cap: int = 4
+    deadline_ms: float = 25.0
+    queue_depth: int = 16
+    workers: int = 2
+    max_retries: int = 2
+    request_deadline_ms: float = 8000.0
+    kill_specs: tuple = ()
+    chaos_rates: "dict | None" = None
+    sigkill_restart: bool = True
+    startup_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ConfigError(f"requests must be >= 1, got {self.requests}")
+        if self.clients < 1:
+            raise ConfigError(f"clients must be >= 1, got {self.clients}")
+        if self.images < 1:
+            raise ConfigError(f"images must be >= 1, got {self.images}")
+
+
+class SoakInvariantError(ReproError, AssertionError):
+    """A robustness invariant did not hold (the soak's failing verdict)."""
+
+
+# --------------------------------------------------------------------- #
+# Server subprocess handle
+# --------------------------------------------------------------------- #
+class ServerHandle:
+    """A ``repro.serving.server`` subprocess bound to a Unix socket."""
+
+    def __init__(self, socket_path: Path, config: SoakConfig) -> None:
+        self.socket_path = Path(socket_path)
+        self.config = config
+        self.process: "subprocess.Popen | None" = None
+        self.ready_info: "dict | None" = None
+
+    def start(self) -> dict:
+        """Spawn the server and block until its READY line."""
+        src_root = Path(__file__).resolve().parents[2]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (str(src_root), env.get("PYTHONPATH")) if p
+        )
+        command = [
+            sys.executable, "-m", "repro.serving.server",
+            "--unix", str(self.socket_path),
+            "--demo-zoo",
+            "--seed", str(self.config.seed),
+            "--batch-cap", str(self.config.batch_cap),
+            "--deadline-ms", str(self.config.deadline_ms),
+            "--queue-depth", str(self.config.queue_depth),
+            "--workers", str(self.config.workers),
+            "--max-retries", str(self.config.max_retries),
+        ]
+        for spec in self.config.kill_specs:
+            # '=' form: an ANY_WORKER spec like '-1:1:after-run' would
+            # otherwise be parsed as an option flag.
+            command.append(f"--kill-worker={spec}")
+        self.process = subprocess.Popen(
+            command,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        deadline = time.monotonic() + self.config.startup_timeout_s
+        assert self.process.stdout is not None
+        while True:
+            if time.monotonic() > deadline:
+                self.sigkill()
+                raise ConfigError("server did not print READY in time")
+            line = self.process.stdout.readline()
+            if not line:
+                raise ConfigError(
+                    "server exited before READY "
+                    f"(code {self.process.poll()})"
+                )
+            if line.startswith("READY "):
+                self.ready_info = json.loads(line[len("READY "):])
+                return self.ready_info
+
+    @property
+    def pid(self) -> int:
+        assert self.process is not None
+        return self.process.pid
+
+    def sigterm(self) -> None:
+        if self.process is not None and self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+
+    def sigkill(self) -> None:
+        if self.process is not None and self.process.poll() is None:
+            self.process.kill()
+
+    def wait(self, timeout_s: float = 30.0) -> int:
+        assert self.process is not None
+        code = self.process.wait(timeout=timeout_s)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+        return code
+
+
+# --------------------------------------------------------------------- #
+# Oracle
+# --------------------------------------------------------------------- #
+def oracle_digests(config: SoakConfig) -> dict:
+    """Digest of the functional oracle per ``(model, image)`` served."""
+    digests = {}
+    for name, definition in demo_definitions().items():
+        for image in range(config.images):
+            run = run_model_functional(
+                definition,
+                scale=definition.benchmark_scale,
+                seed=config.seed,
+                image=image,
+                keep_outputs=True,
+            )
+            digests[(name, image)] = functional_run_digest(run)
+    return digests
+
+
+def _request_shape(index: int, config: SoakConfig) -> tuple:
+    """The (model, image) of logical request ``index`` — pure function."""
+    models = tuple(demo_definitions())
+    return models[index % len(models)], index % config.images
+
+
+# --------------------------------------------------------------------- #
+# Chaos drivers (one per fault kind)
+# --------------------------------------------------------------------- #
+class _Ledger:
+    """Thread-safe record of every terminal response seen client-side."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.responses: "dict[str, list[dict]]" = {}
+        self.errors: "dict[str, str]" = {}
+
+    def record(self, wire_id: str, response: dict) -> None:
+        with self._lock:
+            self.responses.setdefault(wire_id, []).append(response)
+
+    def record_error(self, wire_id: str, error: BaseException) -> None:
+        with self._lock:
+            self.errors[wire_id] = f"{type(error).__name__}: {error}"
+
+
+def _drive_normal(client: ServingClient, rid, model, image, config, ledger):
+    try:
+        response = client.request(
+            model, image, request_id=rid,
+            deadline_ms=config.request_deadline_ms,
+        )
+        ledger.record(response["id"], response)
+    except RequestNotServed as error:
+        ledger.record(error.response.get("id", rid), error.response)
+    except (ServerUnavailable, ProtocolError) as error:
+        ledger.record_error(rid, error)
+
+
+def _drive_drop_before(address) -> None:
+    sock = open_raw_connection(address)
+    try:
+        sock.sendall(encode_frame(hello("chaos-drop-before")))
+    finally:
+        sock.close()
+
+
+def _drive_drop_after(address, rid, model, image) -> None:
+    sock = open_raw_connection(address)
+    try:
+        sock.sendall(encode_frame(hello("chaos-drop-after")))
+        sock.sendall(encode_frame(make_request(rid, model, image)))
+    finally:
+        sock.close()  # vanish before the response — it goes undeliverable
+
+
+def _drive_garbage(address, index: int, config: SoakConfig) -> None:
+    send_garbage(address, garbage_bytes(config.seed + index), timeout_s=5.0)
+
+
+def _drive_truncate(address, rid, model, image) -> None:
+    sock = open_raw_connection(address)
+    try:
+        sock.sendall(encode_frame(hello("chaos-truncate")))
+        frame = truncated_frame(make_request(rid, model, image), keep=7)
+        sock.sendall(frame)
+    finally:
+        sock.close()  # announced a frame, never finished it
+
+
+def _drive_slow(address, rid, model, image, config, ledger) -> None:
+    sock = open_raw_connection(address, timeout_s=30.0)
+    try:
+        sock.sendall(encode_frame(hello("chaos-slow")))
+        slow_send(
+            sock, encode_frame(make_request(rid, model, image)),
+            chunk=3, delay_s=0.002,
+        )
+        decoder = FrameDecoder()
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                ledger.record_error(rid, ServerUnavailable("closed"))
+                return
+            for message in decoder.feed(data):
+                if message.get("type") == RESPONSE and message.get("id") == rid:
+                    ledger.record(rid, message)
+                    return
+    except OSError as error:
+        ledger.record_error(rid, error)
+    finally:
+        sock.close()
+
+
+def _chaos_worker(
+    indices, schedule, address, config, ledger, abandoned, lock
+) -> None:
+    policy = RetryPolicy(
+        max_retries=4, backoff_base_s=0.05, backoff_max_s=1.0,
+        deadline_s=config.request_deadline_ms / 1000.0,
+    )
+    client = ServingClient(address, client="soak", policy=policy)
+    try:
+        for index in indices:
+            kind = schedule.kind(index)
+            model, image = _request_shape(index, config)
+            rid = f"soak-{index}"
+            if kind == FAULT_NONE:
+                _drive_normal(client, rid, model, image, config, ledger)
+            elif kind == FAULT_DROP_BEFORE:
+                _drive_drop_before(address)
+            elif kind == FAULT_DROP_AFTER:
+                _drive_drop_after(address, rid, model, image)
+                with lock:
+                    abandoned.add(rid)
+            elif kind == FAULT_GARBAGE:
+                _drive_garbage(address, index, config)
+            elif kind == FAULT_TRUNCATE:
+                _drive_truncate(address, rid, model, image)
+            elif kind == FAULT_SLOW:
+                _drive_slow(address, rid, model, image, config, ledger)
+        # Duplicate terminals would be stranded in the client's stash.
+        for wire_id, response in client.stash.items():
+            ledger.record(wire_id, response)
+    finally:
+        client.close()
+
+
+# --------------------------------------------------------------------- #
+# Phases
+# --------------------------------------------------------------------- #
+def _phase_chaos(address, config: SoakConfig, ledger: _Ledger) -> dict:
+    schedule = NetFaultSchedule.draw(
+        config.seed, config.requests, rates=config.chaos_rates
+    )
+    abandoned: set[str] = set()
+    lock = threading.Lock()
+    shards = [
+        list(range(shard, config.requests, config.clients))
+        for shard in range(config.clients)
+    ]
+    threads = [
+        threading.Thread(
+            target=_chaos_worker,
+            args=(shard, schedule, address, config, ledger, abandoned, lock),
+            name=f"soak-client-{number}",
+        )
+        for number, shard in enumerate(shards)
+        if shard
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return {"schedule": schedule.counts(), "abandoned": sorted(abandoned)}
+
+
+def _phase_sigkill_restart(
+    handle: ServerHandle, config: SoakConfig, ledger: _Ledger
+) -> dict:
+    """SIGKILL mid-flight, restart on the same socket, retry survivors."""
+    client = ServingClient(handle.socket_path, client="soak-kill")
+    burst = [f"kill-{n}" for n in range(config.batch_cap * 2)]
+    interrupted = []
+    killed_code = None
+    try:
+        for number, rid in enumerate(burst):
+            model, image = _request_shape(number, config)
+            client.send_request(rid, model, image)
+        handle.sigkill()
+        killed_code = handle.wait(timeout_s=30.0)
+        try:
+            got = client.collect(burst)
+            for rid, response in got.items():
+                ledger.record(rid, response)
+        except (ServerUnavailable, ProtocolError):
+            pass  # the kill beat the responses — that is the point
+        interrupted = [rid for rid in burst if rid not in ledger.responses]
+    finally:
+        client.close()
+    restarted = ServerHandle(handle.socket_path, config)
+    restarted.start()
+    retry_client = ServingClient(
+        handle.socket_path, client="soak-retry",
+        policy=RetryPolicy(max_retries=4, backoff_base_s=0.05,
+                           backoff_max_s=1.0),
+    )
+    try:
+        for rid in interrupted:
+            number = int(rid.split("-")[1])
+            model, image = _request_shape(number, config)
+            response = retry_client.request(
+                model, image, request_id=f"{rid}-retry",
+                deadline_ms=config.request_deadline_ms,
+            )
+            ledger.record(response["id"], response)
+    finally:
+        retry_client.close()
+    return {
+        "killed_exit_code": killed_code,
+        "interrupted": len(interrupted),
+        "retried": len(interrupted),
+        "handle": restarted,
+    }
+
+
+def _phase_drain(
+    handle: ServerHandle, config: SoakConfig, ledger: _Ledger
+) -> dict:
+    """SIGTERM: in-flight answered, new arrivals refused, exit 0."""
+    client = ServingClient(handle.socket_path, client="soak-drain")
+    inflight = [f"drain-{n}" for n in range(config.batch_cap)]
+    for number, rid in enumerate(inflight):
+        model, image = _request_shape(number, config)
+        client.send_request(rid, model, image)
+    handle.sigterm()
+    try:
+        got = client.collect(inflight)
+        for rid, response in got.items():
+            ledger.record(rid, response)
+        drained_inflight = True
+    except (ServerUnavailable, ProtocolError):
+        drained_inflight = False
+    finally:
+        client.close()
+    # A post-SIGTERM arrival must be refused: either the listener is
+    # already gone or the answer is rejected(draining).
+    late_refused = False
+    late = ServingClient(handle.socket_path, client="soak-late",
+                         policy=RetryPolicy(max_retries=0))
+    try:
+        response = late.request("Demo-CNN", 0)
+        late_refused = response.get("status") != "completed"
+    except RequestNotServed as error:
+        late_refused = error.response.get("reason") == "draining"
+    except (ServerUnavailable, ProtocolError):
+        late_refused = True  # connection refused: the server is gone
+    finally:
+        late.close()
+    exit_code = handle.wait(timeout_s=30.0)
+    return {
+        "drained_inflight": drained_inflight,
+        "late_refused": late_refused,
+        "exit_code": exit_code,
+    }
+
+
+# --------------------------------------------------------------------- #
+# Invariant checks + report
+# --------------------------------------------------------------------- #
+def check_invariants(
+    ledger: _Ledger,
+    oracle: dict,
+    health: "dict | None",
+    drain: dict,
+) -> dict:
+    """Evaluate every soak invariant; raise on the first breach."""
+    duplicates = {
+        rid: len(responses)
+        for rid, responses in ledger.responses.items()
+        if len(responses) != 1
+    }
+    if duplicates:
+        raise SoakInvariantError(
+            f"requests with != 1 terminal response: {duplicates}"
+        )
+    mismatched = []
+    for rid, (response,) in ledger.responses.items():
+        if response.get("status") != "completed":
+            continue
+        key = (response.get("model"), response.get("image"))
+        if response.get("digest") != oracle.get(key):
+            mismatched.append(rid)
+    if mismatched:
+        raise SoakInvariantError(
+            f"completed outputs differ from the functional oracle: "
+            f"{mismatched}"
+        )
+    if health is not None:
+        if health.get("violations", 0) != 0:
+            raise SoakInvariantError(
+                f"server counted {health['violations']} "
+                "double-terminal violations"
+            )
+        answered = (
+            health.get("completed", 0)
+            + health.get("failed", 0)
+            + health.get("rejected_deadline", 0)
+        )
+        if health.get("accepted", 0) != answered:
+            raise SoakInvariantError(
+                f"accepted ({health.get('accepted')}) != terminally "
+                f"answered ({answered})"
+            )
+    if not drain.get("late_refused", False):
+        raise SoakInvariantError("a post-SIGTERM arrival was served")
+    if drain.get("exit_code") != 0:
+        raise SoakInvariantError(
+            f"drain exit code {drain.get('exit_code')} != 0"
+        )
+    return {
+        "exactly_one_terminal": True,
+        "digests_match": True,
+        "server_accounting": health is not None,
+        "drain_refuses_and_exits_zero": True,
+    }
+
+
+def _latency_summary(ledger: _Ledger) -> dict:
+    recorder = LatencyRecorder()
+    for responses in ledger.responses.values():
+        response = responses[0]
+        if response.get("status") == "completed":
+            recorder.record(
+                max(0.0, float(response.get("latency_ms", 0.0)) * 1000.0)
+            )
+    summary = recorder.summary()
+    return {
+        "count": summary["latency_count"],
+        "p50_ms": summary["p50_latency_us"] / 1000.0,
+        "p95_ms": summary["p95_latency_us"] / 1000.0,
+        "p99_ms": summary["p99_latency_us"] / 1000.0,
+        "mean_ms": summary["mean_latency_us"] / 1000.0,
+        "max_ms": summary["max_latency_us"] / 1000.0,
+    }
+
+
+def run_soak(config: SoakConfig, workdir) -> dict:
+    """Run the full soak scenario; return the report (raises on breach)."""
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    socket_path = workdir / "serve.sock"
+    oracle = oracle_digests(config)
+    ledger = _Ledger()
+    handle = ServerHandle(socket_path, config)
+    handle.start()
+    try:
+        chaos = _phase_chaos(str(socket_path), config, ledger)
+        if config.sigkill_restart:
+            kill_report = _phase_sigkill_restart(handle, config, ledger)
+            handle = kill_report.pop("handle")
+        else:
+            kill_report = {"skipped": True}
+        # The final lifetime's health snapshot, before it drains.
+        probe = ServingClient(socket_path, client="soak-health")
+        try:
+            health = probe.health()
+        finally:
+            probe.close()
+        drain = _phase_drain(handle, config, ledger)
+    finally:
+        handle.sigkill()  # no-op when the drain already exited
+    invariants = check_invariants(ledger, oracle, health, drain)
+    outcomes: dict = {}
+    for (response,) in ledger.responses.values():
+        key = f"{response.get('status')}:{response.get('reason') or '-'}"
+        outcomes[key] = outcomes.get(key, 0) + 1
+    return {
+        "experiment": "serve_live",
+        "seed": config.seed,
+        "requests": config.requests,
+        "clients": config.clients,
+        "chaos": chaos,
+        "sigkill": kill_report,
+        "drain": drain,
+        "outcomes": dict(sorted(outcomes.items())),
+        "client_errors": len(ledger.errors),
+        "latency_ms": _latency_summary(ledger),
+        "health": health,
+        "invariants": invariants,
+        "ok": True,
+    }
+
+
+# --------------------------------------------------------------------- #
+# CLI
+# --------------------------------------------------------------------- #
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.serve_live", description=__doc__
+    )
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--requests", type=int, default=48)
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument(
+        "--kill-worker", action="append", default=[], metavar="W:SEQ[:at]",
+        help="forwarded to the server (injected worker kills)",
+    )
+    parser.add_argument(
+        "--no-sigkill", action="store_true",
+        help="skip the SIGKILL + restart phase",
+    )
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the JSON report here")
+    args = parser.parse_args(argv)
+    config = SoakConfig(
+        seed=args.seed,
+        requests=args.requests,
+        clients=args.clients,
+        workers=args.workers,
+        kill_specs=tuple(args.kill_worker),
+        sigkill_restart=not args.no_sigkill,
+    )
+    with tempfile.TemporaryDirectory(prefix="serve-live-") as workdir:
+        try:
+            report = run_soak(config, workdir)
+        except SoakInvariantError as error:
+            print(json.dumps({"ok": False, "invariant": str(error)}))
+            return 1
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

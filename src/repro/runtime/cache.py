@@ -23,8 +23,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterable, Mapping
+
+try:  # POSIX advisory locks; absent on some platforms.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
 
 #: Bump when the cache file layout changes (stored entries self-identify).
 CACHE_SCHEMA = 1
@@ -119,6 +125,31 @@ class ResultCache:
         rows = entry.get("rows")
         return rows if isinstance(rows, list) else None
 
+    @contextmanager
+    def _store_lock(self, path: Path):
+        """Advisory per-key file lock serializing concurrent writers.
+
+        Multiple server/sweep processes may race to store the same key
+        (same experiment, same params, same code).  The atomic rename
+        already guarantees readers never see a torn entry, but without a
+        lock two writers interleave their temp-write/fsync/rename
+        sequences and both pay the full serialization cost; with the
+        lock, writers queue and the final durable entry is exactly one
+        writer's complete document.  The lock is advisory (``flock`` on
+        a ``.lock`` sibling) and degrades to a no-op where ``fcntl`` is
+        unavailable — correctness still holds via the atomic rename.
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        lock_path = path.with_suffix(".lock")
+        with lock_path.open("a") as lock_handle:
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+
     def store(
         self,
         key: str,
@@ -126,7 +157,7 @@ class ResultCache:
         params: Mapping[str, Any],
         rows: "list[dict]",
     ) -> Path:
-        """Persist normalized rows under ``key`` (atomic rename)."""
+        """Persist normalized rows under ``key`` (locked atomic rename)."""
         path = self.path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {
@@ -142,14 +173,18 @@ class ResultCache:
         # leaves either no entry or a complete one — never a truncated
         # JSON document — and a stray temp file is cleaned up rather
         # than mistaken for an entry (`load` only reads `<key>.json`).
+        # Concurrent writers from multiple processes serialize on the
+        # advisory lock, so exactly one complete entry survives.
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            with tmp.open("w", encoding="utf-8") as handle:
-                # No sort_keys: row column order is part of the rendered table.
-                json.dump(entry, handle, indent=1)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
+        with self._store_lock(path):
+            try:
+                with tmp.open("w", encoding="utf-8") as handle:
+                    # No sort_keys: row column order is part of the
+                    # rendered table.
+                    json.dump(entry, handle, indent=1)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, path)
+            finally:
+                tmp.unlink(missing_ok=True)
         return path

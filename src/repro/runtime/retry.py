@@ -49,6 +49,14 @@ class RetryPolicy:
         backoff_base_s: delay before the first retry.
         backoff_factor: multiplier applied per further retry.
         backoff_max_s: ceiling on any single backoff delay.
+        deadline_s: optional *total* budget across all attempts and
+            backoff sleeps.  A retry is only scheduled when its backoff
+            delay still fits inside the remaining budget; otherwise the
+            last error propagates immediately.  This is what lets a
+            serving client retry without overshooting its request
+            deadline.  The schedule itself stays deterministic (the
+            budget never changes *which* delay a given attempt gets,
+            only whether the attempt happens at all).
     """
 
     max_retries: int = 2
@@ -56,6 +64,7 @@ class RetryPolicy:
     backoff_base_s: float = 0.25
     backoff_factor: float = 2.0
     backoff_max_s: float = 8.0
+    deadline_s: "float | None" = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -69,6 +78,10 @@ class RetryPolicy:
         if self.backoff_factor < 1.0:
             raise ConfigError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
             )
 
     @property
@@ -106,6 +119,8 @@ def call_with_retry(
     on_retry: "Callable[[int, BaseException, float], None] | None" = None,
     sleep: Callable[[float], None] = time.sleep,
     attempts_used: int = 0,
+    deadline_s: "float | None" = None,
+    clock: Callable[[], float] = time.monotonic,
 ) -> Any:
     """Call ``fn`` under the policy's bounded-retry budget.
 
@@ -119,11 +134,20 @@ def call_with_retry(
         attempts_used: attempts already consumed elsewhere (e.g. a
             parallel first try whose failure is being finished serially),
             deducted from the budget.
+        deadline_s: per-call override of ``policy.deadline_s`` — the
+            total budget, measured on ``clock``, from the first attempt.
+            A retry whose backoff delay cannot complete inside the
+            remaining budget is not attempted; the error propagates.
+        clock: monotonic time source, injectable for tests.
 
     Raises:
-        The last error, when it is permanent or the budget is exhausted.
+        The last error, when it is permanent, the attempt budget is
+        exhausted, or the next backoff no longer fits the deadline.
     """
     classify = classify or is_transient
+    if deadline_s is None:
+        deadline_s = policy.deadline_s
+    started = clock()
     attempt = attempts_used
     while True:
         attempt += 1
@@ -133,6 +157,12 @@ def call_with_retry(
             if not classify(error) or attempt >= policy.total_attempts:
                 raise
             delay = policy.backoff_s(attempt)
+            if deadline_s is not None:
+                remaining = deadline_s - (clock() - started)
+                # The retry must both wait out the backoff and leave a
+                # strictly positive slice of budget to actually run in.
+                if delay >= remaining:
+                    raise
             if on_retry is not None:
                 on_retry(attempt, error, delay)
             if delay > 0:

@@ -7,6 +7,14 @@ multi-worker sharding, exact tail-latency percentiles and a
 deterministic virtual-clock core that makes every run — including
 injected crash scenarios — replayable bit for bit.  See
 :mod:`repro.serving.daemon` for the determinism contract.
+
+On top of the virtual-clock core sits the wall-clock socket front-end:
+:mod:`repro.serving.server` (always-on TCP/Unix server with load
+shedding and graceful drain), :mod:`repro.serving.protocol`
+(length-prefixed JSON frames + output digests),
+:mod:`repro.serving.client` (deadline-aware retrying client),
+:mod:`repro.serving.health` (liveness/readiness + counters) and
+:mod:`repro.serving.netfaults` (seeded chaos for the soak harness).
 """
 
 from repro.serving.arrivals import Request, arrival_stream, poisson_arrivals
@@ -21,14 +29,34 @@ from repro.serving.daemon import (
     ServedResponse,
     ServingDaemon,
 )
+from repro.serving.client import (
+    RequestBusy,
+    RequestNotServed,
+    ServerUnavailable,
+    ServingClient,
+)
 from repro.serving.faults import FaultPlan, WorkerKill
+from repro.serving.health import HealthMonitor
+from repro.serving.netfaults import (
+    ANY_WORKER,
+    NetFaultSchedule,
+    ServerFaultPlan,
+    WorkerBatchKill,
+)
 from repro.serving.pool import SessionPool
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    ProtocolError,
+    functional_run_digest,
+)
 from repro.serving.queue import (
     FLUSH_DEADLINE,
     FLUSH_DRAIN,
     FLUSH_FULL,
     BatchQueue,
 )
+from repro.serving.server import ServingServer, ShedPolicy, demo_definitions
 from repro.serving.stats import (
     REPORTED_PERCENTILES,
     LatencyRecorder,
@@ -36,6 +64,7 @@ from repro.serving.stats import (
 )
 
 __all__ = [
+    "ANY_WORKER",
     "BatchQueue",
     "BatchRecord",
     "COMPLETED",
@@ -46,16 +75,31 @@ __all__ = [
     "FLUSH_DRAIN",
     "FLUSH_FULL",
     "FaultPlan",
+    "FrameDecoder",
+    "HealthMonitor",
     "LatencyRecorder",
+    "NetFaultSchedule",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
     "REJECTED",
     "REPORTED_PERCENTILES",
     "Request",
+    "RequestBusy",
+    "RequestNotServed",
     "ServedResponse",
+    "ServerFaultPlan",
+    "ServerUnavailable",
+    "ServingClient",
     "ServingDaemon",
+    "ServingServer",
     "SessionPool",
+    "ShedPolicy",
     "VirtualClock",
+    "WorkerBatchKill",
     "WorkerKill",
     "arrival_stream",
+    "demo_definitions",
     "exact_percentile",
+    "functional_run_digest",
     "poisson_arrivals",
 ]

@@ -102,6 +102,18 @@ class SessionPool:
             "pruning": self.pruning,
         }
 
+    def known_models(self) -> tuple[str, ...]:
+        """Every name this pool can resolve: extras first, then the zoo.
+
+        The socket front-end advertises this list in its handshake
+        acknowledgement when no explicit serve list was configured.
+        """
+        from repro.nn.models import DEFAULT_MODELS
+
+        names = list(self.definitions)
+        names.extend(n for n in DEFAULT_MODELS if n not in self.definitions)
+        return tuple(names)
+
     # ------------------------------------------------------------------ #
     # Sessions
     # ------------------------------------------------------------------ #

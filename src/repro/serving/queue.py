@@ -106,7 +106,17 @@ class BatchQueue:
             return FLUSH_DEADLINE
         return None
 
-    def take_batch(self) -> tuple[Request, ...]:
-        """Remove and return the next batch (up to ``batch_cap``, FIFO)."""
-        size = min(self.batch_cap, len(self._pending))
+    def take_batch(self, limit: "int | None" = None) -> tuple[Request, ...]:
+        """Remove and return the next batch (FIFO).
+
+        Args:
+            limit: cap override for this flush (defaults to
+                ``batch_cap``).  The wall-clock server's load-shedding
+                ladder passes a shrunken cap here when queues run deep,
+                without the queue itself having to know about shedding.
+        """
+        cap = self.batch_cap if limit is None else int(limit)
+        if cap < 1:
+            raise ConfigError(f"batch limit must be >= 1, got {cap}")
+        size = min(cap, len(self._pending))
         return tuple(self._pending.popleft() for _ in range(size))

@@ -132,3 +132,104 @@ class TestCallWithRetry:
         )
         assert result == 2
         assert len(calls) == 2
+
+
+class TestDeadlineBudget:
+    """The optional total-deadline budget on top of the attempt budget."""
+
+    def _flaky(self, failures):
+        calls = []
+
+        def fn():
+            calls.append(1)
+            if len(calls) <= failures:
+                raise TransientError(f"failure {len(calls)}")
+            return len(calls)
+
+        return fn, calls
+
+    def _fake_clock(self):
+        state = {"now": 0.0}
+
+        def clock():
+            return state["now"]
+
+        def sleep(seconds):
+            state["now"] += seconds
+
+        return clock, sleep
+
+    def test_non_positive_deadline_rejected(self):
+        with pytest.raises(ConfigError):
+            RetryPolicy(deadline_s=0.0)
+        with pytest.raises(ConfigError):
+            RetryPolicy(deadline_s=-1.0)
+
+    def test_retry_stops_when_backoff_cannot_fit_budget(self):
+        fn, calls = self._flaky(failures=5)
+        clock, sleep = self._fake_clock()
+        # Backoffs: 1.0, 2.0 — the second retry's 2.0 s delay no longer
+        # fits inside the 2.5 s budget after 1.0 s already slept.
+        policy = RetryPolicy(
+            max_retries=5, backoff_base_s=1.0, backoff_factor=2.0,
+            deadline_s=2.5,
+        )
+        with pytest.raises(TransientError, match="failure 2"):
+            call_with_retry(fn, policy, sleep=sleep, clock=clock)
+        assert len(calls) == 2
+
+    def test_budget_roomy_enough_changes_nothing(self):
+        fn, calls = self._flaky(failures=2)
+        clock, sleep = self._fake_clock()
+        policy = RetryPolicy(
+            max_retries=2, backoff_base_s=1.0, deadline_s=100.0
+        )
+        assert call_with_retry(fn, policy, sleep=sleep, clock=clock) == 3
+        assert len(calls) == 3
+
+    def test_per_call_override_beats_policy_deadline(self):
+        fn, calls = self._flaky(failures=5)
+        clock, sleep = self._fake_clock()
+        policy = RetryPolicy(
+            max_retries=5, backoff_base_s=1.0, backoff_factor=1.0,
+            deadline_s=100.0,
+        )
+        with pytest.raises(TransientError, match="failure 1"):
+            call_with_retry(
+                fn, policy, sleep=sleep, clock=clock, deadline_s=0.5
+            )
+        assert len(calls) == 1
+
+    def test_deadline_consumed_by_slow_attempts(self):
+        clock, sleep = self._fake_clock()
+        calls = []
+
+        def slow_fn():
+            calls.append(1)
+            sleep(3.0)  # the attempt itself eats the budget
+            raise TransientError("slow failure")
+
+        policy = RetryPolicy(
+            max_retries=5, backoff_base_s=0.5, deadline_s=3.25
+        )
+        with pytest.raises(TransientError):
+            call_with_retry(slow_fn, policy, sleep=sleep, clock=clock)
+        assert len(calls) == 1
+
+    def test_schedule_stays_deterministic_under_budget(self):
+        """The budget only truncates the schedule, never reshapes it."""
+        fn, _ = self._flaky(failures=3)
+        clock, sleep = self._fake_clock()
+        seen = []
+        policy = RetryPolicy(
+            max_retries=3, backoff_base_s=0.25, backoff_factor=2.0,
+            deadline_s=100.0,
+        )
+        call_with_retry(
+            fn,
+            policy,
+            on_retry=lambda attempt, error, delay: seen.append(delay),
+            sleep=sleep,
+            clock=clock,
+        )
+        assert seen == [0.25, 0.5, 1.0]

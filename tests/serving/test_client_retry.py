@@ -1,0 +1,313 @@
+"""Client retry discipline: deterministic backoff, budgets, fresh ids.
+
+These tests run against a *scripted* server — a minimal protocol speaker
+whose response to each request is dictated by the test — so every retry
+path (backpressure rejection, dropped connection, permanent refusal,
+deadline exhaustion) is forced deterministically rather than raced.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.runtime.retry import RetryPolicy
+from repro.serving.client import (
+    RequestBusy,
+    RequestNotServed,
+    ServerUnavailable,
+    ServingClient,
+    classify_response,
+)
+from repro.serving.protocol import (
+    HELLO_ACK,
+    PROTOCOL_VERSION,
+    RESPONSE,
+    FrameDecoder,
+    check_hello,
+    encode_frame,
+)
+
+
+class ScriptedServer:
+    """Speaks the protocol; answers each request from a scripted action.
+
+    An action is a callable of the parsed request message returning
+    either a response dict to send, the string ``"close"`` (hang up on
+    the client without answering — it must reconnect and retry), or
+    ``None`` (stay silent; the client's socket timeout fires).
+    """
+
+    def __init__(self, actions):
+        self.actions = list(actions)
+        self.requests: list[dict] = []
+        self.connections = 0
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        while True:
+            try:
+                sock, _ = self._listener.accept()
+            except OSError:
+                return
+            self.connections += 1
+            try:
+                self._one_connection(sock)
+            except OSError:
+                pass
+            finally:
+                sock.close()
+
+    def _one_connection(self, sock):
+        decoder = FrameDecoder()
+        shaken = False
+        while True:
+            data = sock.recv(65536)
+            if not data:
+                return
+            for message in decoder.feed(data):
+                if not shaken:
+                    check_hello(message)
+                    sock.sendall(encode_frame({
+                        "type": HELLO_ACK,
+                        "protocol": PROTOCOL_VERSION,
+                        "models": ["M"],
+                    }))
+                    shaken = True
+                    continue
+                if message.get("type") != "request":
+                    continue
+                self.requests.append(message)
+                action = self.actions.pop(0) if self.actions else _complete
+                result = action(message)
+                if result == "close":
+                    return
+                if result is not None:
+                    sock.sendall(encode_frame(result))
+
+    def close(self):
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+
+
+def _complete(request):
+    return {
+        "type": RESPONSE, "id": request["id"], "model": request["model"],
+        "image": request["image"], "status": "completed", "reason": "",
+        "digest": "d", "latency_ms": 1.0, "attempts": 1,
+    }
+
+
+def _reject(reason, retry_after_ms=None):
+    def action(request):
+        frame = {
+            "type": RESPONSE, "id": request["id"],
+            "model": request["model"], "image": request["image"],
+            "status": "rejected", "reason": reason, "latency_ms": 0.1,
+            "attempts": 0,
+        }
+        if retry_after_ms is not None:
+            frame["retry_after_ms"] = retry_after_ms
+        return frame
+    return action
+
+
+def _fail(reason):
+    def action(request):
+        return {
+            "type": RESPONSE, "id": request["id"],
+            "model": request["model"], "image": request["image"],
+            "status": "failed", "reason": reason, "latency_ms": 0.1,
+            "attempts": 1,
+        }
+    return action
+
+
+def _close(request):
+    return "close"
+
+
+@pytest.fixture()
+def fast_policy():
+    return RetryPolicy(max_retries=3, backoff_base_s=0.01, backoff_max_s=0.05)
+
+
+def _client(server, policy, **kwargs):
+    return ServingClient(server.address, client="t", policy=policy, **kwargs)
+
+
+class TestRetryPaths:
+    def test_queue_full_then_served_uses_fresh_wire_ids(self, fast_policy):
+        server = ScriptedServer([_reject("queue-full"), _complete])
+        try:
+            with _client(server, fast_policy) as client:
+                response = client.request("M", 0, request_id="base")
+            assert response["status"] == "completed"
+            assert [r["id"] for r in server.requests] == ["base", "base~r1"]
+        finally:
+            server.close()
+
+    def test_dropped_connection_reconnects_and_retries(self, fast_policy):
+        server = ScriptedServer([_close, _complete])
+        try:
+            with _client(server, fast_policy) as client:
+                response = client.request("M", 1, request_id="base")
+            assert response["status"] == "completed"
+            assert server.connections == 2  # one reconnect
+            assert server.requests[-1]["id"] == "base~r1"
+        finally:
+            server.close()
+
+    def test_transient_failure_reasons_are_retried(self, fast_policy):
+        server = ScriptedServer([_fail("worker-died"), _fail("no-workers"),
+                                 _complete])
+        try:
+            with _client(server, fast_policy) as client:
+                response = client.request("M", 0)
+            assert response["status"] == "completed"
+            assert len(server.requests) == 3
+        finally:
+            server.close()
+
+    def test_permanent_rejection_is_not_retried(self, fast_policy):
+        server = ScriptedServer([_reject("unknown-model"), _complete])
+        try:
+            with _client(server, fast_policy) as client:
+                with pytest.raises(RequestNotServed) as caught:
+                    client.request("M", 0)
+            assert not isinstance(caught.value, RequestBusy)
+            assert len(server.requests) == 1  # exactly one attempt
+        finally:
+            server.close()
+
+    def test_retry_budget_exhaustion_raises_the_last_rejection(self):
+        policy = RetryPolicy(max_retries=2, backoff_base_s=0.005,
+                             backoff_max_s=0.01)
+        server = ScriptedServer([_reject("queue-full")] * 3)
+        try:
+            with _client(server, policy) as client:
+                with pytest.raises(RequestBusy):
+                    client.request("M", 0)
+            assert len(server.requests) == 3  # total_attempts honored
+        finally:
+            server.close()
+
+
+class TestBackpressureAndDeadline:
+    def test_retry_after_hint_stretches_the_backoff(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serving.client.time.sleep", sleeps.append
+        )
+        policy = RetryPolicy(max_retries=1, backoff_base_s=0.01,
+                             backoff_max_s=5.0)
+        server = ScriptedServer(
+            [_reject("queue-full", retry_after_ms=500.0), _complete]
+        )
+        try:
+            with _client(server, policy) as client:
+                client.request("M", 0)
+            assert sleeps == [0.5]  # the hint, not the 10 ms backoff
+        finally:
+            server.close()
+
+    def test_retry_after_hint_never_exceeds_backoff_max(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.serving.client.time.sleep", sleeps.append
+        )
+        policy = RetryPolicy(max_retries=1, backoff_base_s=0.01,
+                             backoff_max_s=0.2)
+        server = ScriptedServer(
+            [_reject("queue-full", retry_after_ms=60_000.0), _complete]
+        )
+        try:
+            with _client(server, policy) as client:
+                client.request("M", 0)
+            assert sleeps == [0.2]
+        finally:
+            server.close()
+
+    def test_deadline_budget_stops_retries_early(self):
+        # Backoff after the first failure is 1 s but the total budget is
+        # 50 ms: the retry must not be attempted at all.
+        policy = RetryPolicy(max_retries=3, backoff_base_s=1.0,
+                             backoff_max_s=8.0, deadline_s=0.05)
+        server = ScriptedServer([_reject("queue-full")] * 4)
+        try:
+            with _client(server, policy) as client:
+                with pytest.raises(RequestBusy):
+                    client.request("M", 0)
+            assert len(server.requests) == 1  # no second attempt
+        finally:
+            server.close()
+
+    def test_request_deadline_ms_acts_as_budget_without_policy_deadline(self):
+        policy = RetryPolicy(max_retries=3, backoff_base_s=1.0,
+                             backoff_max_s=8.0)
+        server = ScriptedServer([_reject("queue-full")] * 4)
+        try:
+            with _client(server, policy) as client:
+                with pytest.raises(RequestBusy):
+                    client.request("M", 0, deadline_ms=50.0)
+            assert len(server.requests) == 1
+        finally:
+            server.close()
+
+    def test_silent_server_times_out_as_transient(self):
+        policy = RetryPolicy(max_retries=1, backoff_base_s=0.01,
+                             backoff_max_s=0.01)
+        silent = lambda request: None  # noqa: E731 - scripted action
+        server = ScriptedServer([silent, silent])
+        try:
+            client = _client(server, policy, timeout_s=0.2)
+            with pytest.raises(ServerUnavailable):
+                client.request("M", 0)
+            client.close()
+            assert len(server.requests) == 2  # timed out, retried once
+        finally:
+            server.close()
+
+    def test_unreachable_server_is_transient(self):
+        # Nothing listens here: connect itself must classify transient
+        # and exhaust the policy rather than crash.
+        policy = RetryPolicy(max_retries=1, backoff_base_s=0.01,
+                             backoff_max_s=0.01)
+        client = ServingClient(("127.0.0.1", 1), client="t", policy=policy)
+        with pytest.raises(ServerUnavailable):
+            client.request("M", 0)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "status,reason,expected",
+        [
+            ("completed", "", None),
+            ("rejected", "queue-full", RequestBusy),
+            ("rejected", "draining", RequestBusy),
+            ("rejected", "duplicate", RequestNotServed),
+            ("rejected", "unknown-model", RequestNotServed),
+            ("rejected", "deadline", RequestNotServed),
+            ("failed", "no-workers", RequestBusy),
+            ("failed", "worker-died", RequestBusy),
+            ("failed", "execute-error:ValueError", RequestNotServed),
+        ],
+    )
+    def test_terminal_status_classification(self, status, reason, expected):
+        response = {"status": status, "reason": reason, "id": "r"}
+        assert classify_response(response) is expected
+
+    def test_busy_is_both_not_served_and_transient(self):
+        from repro.runtime.retry import TransientError
+
+        assert issubclass(RequestBusy, RequestNotServed)
+        assert issubclass(RequestBusy, TransientError)

@@ -1,0 +1,102 @@
+"""Chaos soak of the live serving stack (marked ``soak``).
+
+Each soak test boots a real ``python -m repro.serving.server``
+subprocess and drives it through seeded network chaos via
+:func:`repro.experiments.serve_live.run_soak`, which raises
+``SoakInvariantError`` on any robustness breach — so a passing test
+*is* the invariant check.  Timings are wall-clock and load-sensitive;
+the root conftest gives the ``soak`` marker its own generous SIGALRM
+budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.serve_live import (
+    SoakConfig,
+    _request_shape,
+    oracle_digests,
+    run_soak,
+)
+from repro.serving.netfaults import NetFaultSchedule
+
+pytestmark = pytest.mark.soak
+
+
+class TestSoakScenarios:
+    def test_full_soak_with_sigkill_restart(self, tmp_path):
+        config = SoakConfig(
+            seed=2021, requests=24, clients=2, images=3,
+            workers=2, max_retries=2,
+        )
+        report = run_soak(config, tmp_path)  # raises on invariant breach
+        assert report["ok"] is True
+        assert report["invariants"]["exactly_one_terminal"]
+        assert report["invariants"]["digests_match"]
+        assert report["invariants"]["drain_refuses_and_exits_zero"]
+        # The kill phase actually interrupted and recovered something.
+        assert report["sigkill"]["killed_exit_code"] != 0
+        assert report["sigkill"]["retried"] == report["sigkill"]["interrupted"]
+        assert report["drain"]["exit_code"] == 0
+        # Chaos actually happened: the seeded schedule is non-degenerate.
+        injected = sum(
+            count for kind, count in report["chaos"]["schedule"].items()
+            if kind != "none"
+        )
+        assert injected > 0
+        # Work was actually served and timed.
+        assert report["outcomes"].get("completed:-", 0) > 0
+        assert report["latency_ms"]["count"] > 0
+        assert report["latency_ms"]["p99_ms"] >= report["latency_ms"]["p50_ms"]
+
+    def test_soak_with_injected_worker_kill(self, tmp_path):
+        # ANY_WORKER kill on the first dispatched batch: the surviving
+        # worker must recompute it, still bit-identical to the oracle.
+        config = SoakConfig(
+            seed=7, requests=16, clients=2, images=2,
+            workers=2, max_retries=2,
+            kill_specs=("-1:1:after-run",),
+            sigkill_restart=False,
+        )
+        report = run_soak(config, tmp_path)
+        assert report["ok"] is True
+        assert report["sigkill"] == {"skipped": True}
+        assert report["outcomes"].get("completed:-", 0) > 0
+        assert report["health"]["retries"] >= 1
+
+
+class TestSoakDeterminism:
+    def test_chaos_schedule_is_a_pure_function_of_the_seed(self):
+        first = NetFaultSchedule.draw(2021, 48)
+        again = NetFaultSchedule.draw(2021, 48)
+        other = NetFaultSchedule.draw(2022, 48)
+        assert first.kinds == again.kinds
+        assert first.kinds != other.kinds
+
+    def test_request_shape_cycles_models_and_images(self):
+        config = SoakConfig(images=3)
+        shapes = [_request_shape(index, config) for index in range(6)]
+        models = {model for model, _ in shapes}
+        images = {image for _, image in shapes}
+        assert len(models) == 2  # both demo models exercised
+        assert images == {0, 1, 2}
+
+    def test_oracle_digests_cover_every_served_pair(self):
+        config = SoakConfig(images=2)
+        digests = oracle_digests(config)
+        assert set(digests) == {
+            (model, image)
+            for model in ("Demo-CNN", "Demo-GEMM")
+            for image in range(2)
+        }
+        assert all(len(d) == 64 for d in digests.values())
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            SoakConfig(requests=0)
+        with pytest.raises(ConfigError):
+            SoakConfig(clients=0)
+        with pytest.raises(ConfigError):
+            SoakConfig(images=0)
